@@ -1,0 +1,25 @@
+"""Appendix A.1: qualitative generation comparison on a single document.
+
+Generates one summary with Full Attention, Window Attention, H2O and Keyformer
+(all reduced policies at a 50 % budget) and records the generated text plus
+per-sample ROUGE scores, mirroring the paper's qualitative appendix.
+"""
+
+from repro.experiments.qualitative import run_qualitative_comparison
+
+from conftest import run_once
+
+
+def test_appendix_a1_qualitative(benchmark, context, save_table):
+    table, texts = run_once(benchmark, run_qualitative_comparison, context=context)
+    save_table("appendix_a1_scores", table)
+
+    narrative = ["Document:", "  " + texts["document"], "", "Reference:", "  " + texts["reference"], ""]
+    for method in ("full", "window", "h2o", "keyformer"):
+        narrative.append(f"{method}:")
+        narrative.append("  " + texts[method])
+        narrative.append("")
+    save_table("appendix_a1_generations", "\n".join(narrative))
+
+    assert set(texts) == {"document", "reference", "full", "window", "h2o", "keyformer"}
+    assert len(table.rows) == 4

@@ -1,0 +1,31 @@
+"""Figure 1: inference-latency growth and KV-cache size vs model size.
+
+Regenerates both panels of the paper's motivation figure with the analytical
+A100 model: (a) latency normalized to a 512-token sequence together with the
+share of time spent moving KV-cache data, and (b) KV-cache size crossing the
+model size as the sequence grows (batch 1, beam 4, MPT-7B).
+"""
+
+from repro.experiments.performance import run_fig1_motivation
+
+from conftest import run_once
+
+
+def test_fig01_latency_and_size(benchmark, save_table):
+    latency_table, size_table = run_once(benchmark, run_fig1_motivation)
+    save_table("fig01a_latency_vs_seqlen", latency_table, precision=3)
+    save_table("fig01b_kv_cache_vs_model_size", size_table, precision=2)
+
+    norm = latency_table.column("normalized_latency")
+    kv_share = latency_table.column("kv_movement_fraction")
+    # Paper: 16x longer sequences cost >50x more and KV movement approaches
+    # ~40% of the total time; the roofline model must reproduce that shape.
+    assert norm[0] == 1.0
+    assert norm[-1] > 20.0
+    assert kv_share[-1] > kv_share[0]
+    assert kv_share[-1] > 0.3
+
+    model_gb = size_table.column("model_size_gb")
+    kv_gb = size_table.column("kv_cache_size_gb")
+    assert kv_gb[0] < model_gb[0]      # 512 tokens: KV cache << model
+    assert kv_gb[-1] > model_gb[-1]    # 8k tokens: KV cache exceeds the model

@@ -1,0 +1,38 @@
+"""Figure 3: attention sparsity, attention-mass CDF and attention-scheme accuracy.
+
+(a) per-layer attention sparsity of the three mini model families,
+(b) cumulative attention mass captured by the top fraction of tokens,
+(c) ROUGE-2 of Full / Key-only / Window / H2O at a 50 % KV-cache budget.
+"""
+
+from repro.experiments.accuracy_sweep import run_fig3_accuracy_comparison
+from repro.experiments.attention_analysis import run_fig3_sparsity_and_cdf
+
+from conftest import run_once
+
+
+def test_fig03ab_sparsity_and_cdf(benchmark, context, save_table):
+    sparsity, cdf = run_once(benchmark, run_fig3_sparsity_and_cdf, context=context)
+    save_table("fig03a_attention_sparsity", sparsity)
+    save_table("fig03b_attention_mass_cdf", cdf, precision=3)
+
+    # Paper: a small fraction of tokens carries ~90% of the attention mass.
+    mass = cdf.column("attention_mass")
+    fractions = cdf.column("token_fraction")
+    half_index = min(range(len(fractions)), key=lambda i: abs(fractions[i] - 0.5))
+    assert mass[half_index] > 0.75
+    assert all(0.0 <= s <= 100.0 for s in sparsity.column("sparsity_pct"))
+
+
+def test_fig03c_attention_scheme_accuracy(benchmark, context, save_table):
+    table = run_once(benchmark, run_fig3_accuracy_comparison, limit=8, context=context)
+    save_table("fig03c_attention_scheme_accuracy", table)
+
+    # Paper's qualitative claim: window attention and key-only attention lose
+    # accuracy relative to full attention at 50% cache.
+    by_scheme: dict[str, list[float]] = {}
+    for model, scheme, _, rouge2 in table.rows:
+        by_scheme.setdefault(scheme, []).append(rouge2)
+    mean = {scheme: sum(vals) / len(vals) for scheme, vals in by_scheme.items()}
+    assert mean["window"] < mean["full"]
+    assert mean["key-only"] < mean["full"]

@@ -1,0 +1,24 @@
+"""Figure 4: KV-cache reduction redistributes the softmax mass unevenly.
+
+Compares the last-query-row attention distribution before and after keeping
+only the top 50 % of tokens: the retained tokens inherit the discarded mass,
+the maximum probability grows and the entropy drops — the distribution shift
+that motivates Keyformer's logit regularization.
+"""
+
+from repro.experiments.attention_analysis import run_fig4_distribution_shift
+
+from conftest import run_once
+
+
+def test_fig04_distribution_shift(benchmark, context, save_table):
+    table = run_once(benchmark, run_fig4_distribution_shift, context=context)
+    save_table("fig04_score_distribution_shift", table, precision=4)
+
+    rows = {row[0]: (row[1], row[2]) for row in table.rows}
+    full_max, reduced_max = rows["max probability"]
+    full_entropy, reduced_entropy = rows["entropy"]
+    assert reduced_max >= full_max          # mass concentrates on survivors
+    assert reduced_entropy <= full_entropy  # the distribution becomes sharper
+    _, retained_mass = rows["mass of retained tokens (pre-normalization)"]
+    assert 0.5 < retained_mass <= 1.0       # top-50% of tokens held most of the mass

@@ -1,0 +1,26 @@
+"""Figure 11 (Appendix A.3): attention sparsity as the score threshold grows.
+
+Sweeps the threshold (expressed as a percentage of the per-row maximum
+attention score) and reports per-layer sparsity for the MPT-mini model.
+"""
+
+import numpy as np
+
+from repro.experiments.attention_analysis import run_fig11_threshold_sparsity
+
+from conftest import run_once
+
+
+def test_fig11_threshold_sparsity(benchmark, context, save_table):
+    table = run_once(benchmark, run_fig11_threshold_sparsity, context=context)
+    save_table("fig11_threshold_sparsity", table)
+
+    rows = table.to_dicts()
+    thresholds = sorted({r["threshold_pct_of_max"] for r in rows})
+    mean_by_threshold = [
+        np.mean([r["sparsity_pct"] for r in rows if r["threshold_pct_of_max"] == t])
+        for t in thresholds
+    ]
+    # Sparsity grows monotonically with the threshold (Figure 11's shape).
+    assert all(b >= a - 1e-9 for a, b in zip(mean_by_threshold, mean_by_threshold[1:]))
+    assert mean_by_threshold[-1] > mean_by_threshold[0]

@@ -1,0 +1,34 @@
+"""Figure 12 (Appendix A.4): recent-window ratio sweep at a 70 % KV budget.
+
+Varies the share of the budget reserved for recent tokens; the paper finds a
+sweet spot around 20–30 %, confirming that both recent tokens and key tokens
+matter.
+"""
+
+import numpy as np
+
+from repro.experiments.ablations import run_recent_ratio_sweep
+
+from conftest import run_once
+
+
+def test_fig12_recent_ratio(benchmark, context, save_table):
+    table = run_once(
+        benchmark,
+        run_recent_ratio_sweep,
+        recent_ratios=(0.1, 0.2, 0.3, 0.5, 0.7, 0.9),
+        limit=8,
+        context=context,
+    )
+    save_table("fig12_recent_ratio_sweep", table)
+
+    rows = table.to_dicts()
+    ratios = sorted({r["recent_ratio"] for r in rows})
+    mean_by_ratio = {
+        ratio: float(np.mean([r["rouge2"] for r in rows if r["recent_ratio"] == ratio]))
+        for ratio in ratios
+    }
+    # The mixed regime (small-to-moderate recent share) must not be worse than
+    # devoting nearly the whole budget to recency — i.e. key tokens matter.
+    best_mixed = max(mean_by_ratio[r] for r in ratios if r <= 0.5)
+    assert best_mixed >= mean_by_ratio[max(ratios)] * 0.6

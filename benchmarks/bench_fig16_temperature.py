@@ -1,0 +1,22 @@
+"""Figure 16 (Appendix A.8): static vs dynamic temperature for the score function.
+
+Compares static τ values against the paper's dynamic τ: 1 → 2 schedule on the
+MPT-mini summarization task at a 50 % budget.
+"""
+
+from repro.experiments.ablations import run_temperature_sweep
+
+from conftest import run_once
+
+
+def test_fig16_temperature(benchmark, context, save_table):
+    table = run_once(benchmark, run_temperature_sweep, limit=8, context=context)
+    save_table("fig16_temperature_sweep", table)
+
+    rows = table.to_dicts()
+    dynamic = next(r["rouge2"] for r in rows if r["tau"] == "dynamic(1->2)")
+    static = {r["tau"]: r["rouge2"] for r in rows if r["tau"] != "dynamic(1->2)"}
+    # The dynamic schedule must be competitive with the best static value and
+    # clearly better than the extreme temperatures.
+    assert dynamic >= max(static.values()) * 0.75
+    assert len(static) == 6

@@ -1,0 +1,85 @@
+"""Microbenchmarks of the implementation's hot components.
+
+These do not correspond to a paper figure; they quantify the cost of the
+building blocks (decode step, cache gather, policy selection, Gumbel-softmax
+score update, beam-search step) so regressions in the library itself are
+visible alongside the experiment-regeneration benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import KeyformerConfig
+from repro.core.keyformer import KeyformerPolicy
+from repro.core.policies import H2OPolicy, mixed_topk_selection
+from repro.core.registry import make_policy
+from repro.generation.generator import Generator
+from repro.kvcache.cache import LayerKVCache
+from repro.models.config import GenerationConfig, ModelConfig
+from repro.models.tensor_ops import softmax
+from repro.models.transformer import DecoderLM
+
+
+@pytest.fixture(scope="module")
+def micro_model():
+    config = ModelConfig(
+        vocab_size=256, d_model=64, n_layers=4, n_heads=8, d_ff=256, max_seq_len=1024,
+        positional="rope",
+    )
+    return DecoderLM(config, seed=0)
+
+
+def test_micro_prompt_forward(benchmark, micro_model):
+    ids = np.random.default_rng(0).integers(0, 256, size=(1, 256))
+    benchmark(micro_model.forward, ids)
+
+
+def test_micro_generation_with_keyformer(benchmark, micro_model):
+    prompt = np.random.default_rng(1).integers(0, 256, size=128)
+    generator = Generator(micro_model, make_policy("keyformer", kv_fraction=0.5))
+    config = GenerationConfig(max_new_tokens=16)
+    benchmark(generator.generate, prompt, config)
+
+
+def test_micro_generation_full_attention(benchmark, micro_model):
+    prompt = np.random.default_rng(1).integers(0, 256, size=128)
+    generator = Generator(micro_model, make_policy("full"))
+    config = GenerationConfig(max_new_tokens=16)
+    benchmark(generator.generate, prompt, config)
+
+
+def test_micro_cache_gather(benchmark):
+    rng = np.random.default_rng(2)
+    keys = rng.normal(size=(4, 8, 1024, 64))
+    cache = LayerKVCache.from_prompt(keys, keys.copy())
+    indices = np.sort(rng.choice(1024, size=(4, 8, 512), replace=True), axis=-1)
+
+    def gather():
+        fresh = LayerKVCache.from_prompt(keys, keys.copy())
+        fresh.gather(indices)
+
+    benchmark(gather)
+
+
+def test_micro_mixed_topk_selection(benchmark):
+    scores = np.random.default_rng(3).normal(size=(4, 32, 2048))
+    benchmark(mixed_topk_selection, scores, 1024, 256)
+
+
+def test_micro_keyformer_score_update(benchmark):
+    rng = np.random.default_rng(4)
+    policy = KeyformerPolicy(KeyformerConfig(kv_fraction=0.5))
+    policy.setup(n_layers=1, n_heads=32, batch_size=1, prompt_len=2048, max_new_tokens=64)
+    logits = rng.normal(size=(1, 32, 1025))
+    probs = softmax(logits, axis=-1)
+    positions = np.broadcast_to(np.arange(1025), (1, 32, 1025))
+    benchmark(policy.step_selection, 0, logits, probs, positions, 1)
+
+
+def test_micro_h2o_score_update(benchmark):
+    rng = np.random.default_rng(5)
+    policy = H2OPolicy()
+    policy.setup(n_layers=1, n_heads=32, batch_size=1, prompt_len=2048, max_new_tokens=64)
+    logits = rng.normal(size=(1, 32, 1025))
+    probs = softmax(logits, axis=-1)
+    benchmark(policy.step_selection, 0, logits, probs, None, 1)

@@ -1,0 +1,41 @@
+"""Table 3: attention methods, score-function sharing and positional handling.
+
+Regenerates the paper's method comparison at a 60 % KV-cache budget on the
+MPT-mini summarization task: Full, Window, H2O, StreamingLLM and the Keyformer
+variants (new vs original positions, per-layer vs shared score function).
+"""
+
+from repro.experiments.ablations import run_table3_ablations
+
+from conftest import run_once
+
+
+def test_table3_ablations(benchmark, context, save_table):
+    table = run_once(benchmark, run_table3_ablations, limit=16, context=context)
+    save_table("table3_score_fn_and_positions", table)
+
+    rows = table.to_dicts()
+
+    def row_for(method, score_fn=None):
+        for row in rows:
+            if row["method"] == method and (score_fn is None or row["score_fn"] == score_fn):
+                return row
+        raise KeyError(method)
+
+    full = row_for("Full")
+    threshold = row_for("Full (99% Accuracy)")
+    # The 99% MLPerf threshold row is exactly 0.99 of the full-attention row.
+    assert abs(threshold["rouge2"] - 0.99 * full["rouge2"]) < 1e-6
+
+    # At the paper's generous 60% budget the method ordering is within noise at
+    # mini scale (documents are short), so the robust assertion is that every
+    # reduced-cache method retains most of the full-attention ROUGE-1; the
+    # discriminative comparisons happen at tighter budgets in Figures 7 and 8.
+    reduced_methods = [
+        row for row in rows if row["method"] not in ("Full", "Full (99% Accuracy)")
+    ]
+    assert len(reduced_methods) == 6
+    for row in reduced_methods:
+        assert row["rouge1"] >= 0.6 * full["rouge1"], row
+    # All eight method rows of the paper's table are present.
+    assert len(rows) == 8

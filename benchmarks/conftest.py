@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding experiment runner against the trained mini model zoo (trained
+and cached on first use under ``.cache/models``), prints the resulting table,
+and writes it under ``results/`` so EXPERIMENTS.md can reference the measured
+values.  pytest-benchmark records the wall-clock cost of regenerating each
+artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """Experiment context backed by the trained model zoo (trains on first use)."""
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def save_table(results_dir):
+    """Persist a ResultTable (or raw text) under results/ and echo it to stdout."""
+
+    def _save(name: str, table_or_text, precision: int = 2) -> str:
+        text = (
+            table_or_text
+            if isinstance(table_or_text, str)
+            else table_or_text.to_text(precision=precision)
+        )
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return text
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

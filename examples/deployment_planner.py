@@ -1,0 +1,91 @@
+"""Deployment planning with the analytical A100 performance model.
+
+Answers the capacity-planning questions behind the paper's performance
+evaluation for a full-size model (MPT-7B by default): how does latency break
+down between weights, KV-cache movement and compute; what speedup does a given
+KV-cache budget buy; and what batch size fits on the GPU before and after
+cache reduction (Figures 1, 9, 10 and Table 1 — without needing the GPU).
+
+Run with:
+    python examples/deployment_planner.py --prompt 4096 --generate 4096 --kv-fraction 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.reporting import ResultTable
+from repro.perfmodel.hardware import A100_40GB, A100_80GB
+from repro.perfmodel.latency import AttentionPolicyOverhead, LatencyModel
+from repro.perfmodel.memory import CEREBRAS_GPT_6_7B, GPT_J_6B, MPT_7B, MemoryModel
+from repro.perfmodel.throughput import ThroughputModel
+
+MODELS = {"mpt-7b": MPT_7B, "gpt-j-6b": GPT_J_6B, "cerebras-gpt-6.7b": CEREBRAS_GPT_6_7B}
+GPUS = {"a100-80gb": A100_80GB, "a100-40gb": A100_40GB}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", choices=sorted(MODELS), default="mpt-7b")
+    parser.add_argument("--gpu", choices=sorted(GPUS), default="a100-80gb")
+    parser.add_argument("--prompt", type=int, default=2048)
+    parser.add_argument("--generate", type=int, default=2048)
+    parser.add_argument("--beam", type=int, default=4)
+    parser.add_argument("--kv-fraction", type=float, default=0.5)
+    args = parser.parse_args()
+
+    spec = MODELS[args.model]
+    gpu = GPUS[args.gpu]
+    latency = LatencyModel(spec, gpu)
+    throughput = ThroughputModel(spec, gpu)
+    memory = MemoryModel(spec)
+    overhead = AttentionPolicyOverhead.keyformer()
+
+    print(f"Model: {spec.name}  ({spec.n_parameters() / 1e9:.2f} B parameters, "
+          f"{memory.model_bytes() / 1e9:.1f} GB fp16)")
+    print(f"GPU:   {gpu.name}  ({gpu.hbm_bandwidth_gbps:.0f} GB/s HBM, {gpu.hbm_capacity_gb:.0f} GB)")
+    print(f"Workload: prompt {args.prompt} + generate {args.generate}, beam {args.beam}\n")
+
+    table = ResultTable(
+        name="latency breakdown",
+        headers=["policy", "kv_budget", "total_s", "kv_movement_s", "kv_share", "speedup"],
+    )
+    full = latency.generation_breakdown(args.prompt, args.generate, 1, args.beam, 1.0)
+    table.add_row("full", 1.0, full.total_time, full.kv_data_movement_time,
+                  full.kv_movement_fraction, 1.0)
+    reduced = latency.generation_breakdown(
+        args.prompt, args.generate, 1, args.beam, args.kv_fraction, overhead
+    )
+    table.add_row(
+        "keyformer", args.kv_fraction, reduced.total_time, reduced.kv_data_movement_time,
+        reduced.kv_movement_fraction, full.total_time / reduced.total_time,
+    )
+    print(table.to_text(precision=3))
+
+    kv_full = memory.kv_cache_bytes(args.prompt + args.generate, 1, args.beam) / 1e9
+    kv_reduced = memory.kv_cache_bytes(
+        max(int(args.kv_fraction * args.prompt), 1), 1, args.beam
+    ) / 1e9
+    print(f"\nKV cache: {kv_full:.1f} GB (full) -> {kv_reduced:.1f} GB "
+          f"({args.kv_fraction:.0%} budget)")
+
+    max_full = throughput.max_feasible_batch(args.prompt, args.generate, 1.0, args.beam)
+    max_reduced = throughput.max_feasible_batch(args.prompt, args.generate, args.kv_fraction, args.beam)
+    print(f"Max batch size: {max_full} (full attention) -> {max_reduced} (reduced cache)")
+
+    best = throughput.evaluate(
+        args.prompt, args.generate, max(max_reduced, 1), args.beam, args.kv_fraction, overhead
+    )
+    base = throughput.evaluate(args.prompt, args.generate, max(max_full, 1), args.beam, 1.0)
+    if base.oom:
+        print("Full attention does not fit at all -> throughput gain is unbounded (OOM baseline).")
+    else:
+        print(
+            f"Throughput: {base.tokens_per_second:.1f} tok/s (full, BS={max(max_full, 1)}) -> "
+            f"{best.tokens_per_second:.1f} tok/s (keyformer, BS={max(max_reduced, 1)}), "
+            f"{best.tokens_per_second / base.tokens_per_second:.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Long-context summarization under aggressive KV-cache budgets (paper §4.1, Figure 8).
+
+Uses the MPT-storywriter analogue and the GovReport-like long-document dataset
+to compare Full Attention, H2O and Keyformer at 10–50 % KV-cache budgets.
+This is the workload where cache reduction matters most: the prompt is several
+hundred tokens long and the salient facts are buried far from the end.
+
+Run with:
+    python examples/long_context_summarization.py [--limit N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.reporting import ResultTable
+from repro.core.registry import make_policy
+from repro.data.registry import make_dataset
+from repro.data.world import SyntheticWorld
+from repro.generation.pipeline import SummarizationPipeline
+from repro.models.model_zoo import load_or_train
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--limit", type=int, default=4, help="number of documents to summarize")
+    parser.add_argument(
+        "--budgets", type=float, nargs="+", default=[0.1, 0.3, 0.5], help="KV-cache budgets"
+    )
+    args = parser.parse_args()
+
+    print("Loading the MPT-storywriter analogue (long-context model)...")
+    model, tokenizer, _ = load_or_train("mpt_storywriter_mini")
+    dataset = make_dataset("govreport", world=SyntheticWorld(0), n_examples=args.limit + 2, seed=555)
+    pipeline = SummarizationPipeline(model, tokenizer)
+
+    table = ResultTable(
+        name="long_context_summarization",
+        headers=["policy", "kv_budget", "rouge1", "rouge2", "rougeL", "mean_cache"],
+    )
+
+    full = pipeline.evaluate_dataset(dataset, policy=make_policy("full"), limit=args.limit)
+    table.add_row(
+        "full", 1.0, full.rouge["rouge1"], full.rouge["rouge2"], full.rouge["rougeL"],
+        full.mean_cache_length,
+    )
+    for budget in args.budgets:
+        for policy_name in ("h2o", "keyformer"):
+            recent = 0.5 if policy_name == "h2o" else 0.3
+            report = pipeline.evaluate_dataset(
+                dataset,
+                policy=make_policy(policy_name, kv_fraction=budget, recent_ratio=recent),
+                limit=args.limit,
+            )
+            table.add_row(
+                policy_name, budget, report.rouge["rouge1"], report.rouge["rouge2"],
+                report.rouge["rougeL"], report.mean_cache_length,
+            )
+
+    print()
+    print(table.to_text(precision=2))
+    print(
+        "\nThe 99% MLPerf accuracy band relative to full attention is "
+        f"ROUGE-2 >= {0.99 * full.rouge['rouge2']:.2f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Attention heatmap extraction (Appendix A.6, Figures 14–15)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.transformer import DecoderLM
+
+__all__ = ["collect_attention_maps", "heatmap_to_ascii"]
+
+
+def collect_attention_maps(
+    model: DecoderLM, token_ids: np.ndarray, generated_rows_only: bool = False
+) -> list[np.ndarray]:
+    """Per-layer attention maps ``(B, H, T, T)`` for a full forward pass.
+
+    When ``generated_rows_only`` is true only the rows corresponding to the
+    second half of the sequence are returned (the paper's heatmaps plot
+    generation rows against context + generation columns).
+    """
+    token_ids = np.asarray(token_ids)
+    if token_ids.ndim == 1:
+        token_ids = token_ids[None, :]
+    model.forward(token_ids, store_attention=True)
+    maps = model.collect_attention()
+    if generated_rows_only:
+        t = token_ids.shape[1]
+        maps = [m[:, :, t // 2 :, :] for m in maps]
+    return maps
+
+
+def heatmap_to_ascii(attn: np.ndarray, width: int = 64, height: int = 16) -> str:
+    """Render a single-head attention map ``(Q, K)`` as an ASCII density plot.
+
+    Used by the benchmark harness to show the Figure 14/15 heatmaps in plain
+    text; darker characters correspond to larger attention weights.
+    """
+    attn = np.asarray(attn, dtype=np.float64)
+    if attn.ndim != 2:
+        raise ValueError(f"expected a 2-D (query, key) map, got shape {attn.shape}")
+    q, k = attn.shape
+    rows = min(height, q)
+    cols = min(width, k)
+    # Downsample by block-averaging.
+    q_edges = np.linspace(0, q, rows + 1, dtype=int)
+    k_edges = np.linspace(0, k, cols + 1, dtype=int)
+    shades = " .:-=+*#%@"
+    lines = []
+    peak = max(attn.max(), 1e-12)
+    for i in range(rows):
+        chars = []
+        for j in range(cols):
+            block = attn[q_edges[i]: q_edges[i + 1], k_edges[j]: k_edges[j + 1]]
+            value = block.max() if block.size else 0.0
+            level = int(round((len(shades) - 1) * value / peak))
+            chars.append(shades[level])
+        lines.append("".join(chars))
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Plain-text table/series formatting used by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "ResultTable"]
+
+
+def _fmt(value: Any, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Sequence[Any]], headers: Sequence[str], precision: int = 2
+) -> str:
+    """Render rows/headers as an aligned plain-text table."""
+    str_rows = [[_fmt(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length must match headers")
+        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_values: Iterable[Any], series: dict[str, Iterable[float]], x_label: str = "x", precision: int = 2
+) -> str:
+    """Render one or more named series against shared x values as a table."""
+    x_values = list(x_values)
+    headers = [x_label] + list(series.keys())
+    columns = [list(v) for v in series.values()]
+    for col in columns:
+        if len(col) != len(x_values):
+            raise ValueError("all series must have the same length as x_values")
+    rows = [[x] + [col[i] for col in columns] for i, x in enumerate(x_values)]
+    return format_table(rows, headers, precision=precision)
+
+
+@dataclass
+class ResultTable:
+    """A named table of experiment results with provenance metadata."""
+
+    name: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} values for table {self.name!r}, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def to_text(self, precision: int = 2) -> str:
+        header = f"== {self.name} =="
+        body = format_table(self.rows, self.headers, precision=precision)
+        if self.notes:
+            return f"{header}\n{self.notes}\n{body}"
+        return f"{header}\n{body}"
+
+    def column(self, header: str) -> list[Any]:
+        """Values of one column by header name."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.headers, row)) for row in self.rows]

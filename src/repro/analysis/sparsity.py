@@ -1,0 +1,28 @@
+"""Sparsity analyses over attention maps (Figures 3a and 11)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.attention_stats import attention_sparsity, head_sparsity_by_threshold
+
+__all__ = ["sparsity_by_layer", "sparsity_threshold_sweep"]
+
+
+def sparsity_by_layer(attn_per_layer: Sequence[np.ndarray], threshold: float = 0.0) -> list[float]:
+    """Sparsity (%) of every layer's attention map (Figure 3a)."""
+    return [attention_sparsity(np.asarray(attn), threshold) for attn in attn_per_layer]
+
+
+def sparsity_threshold_sweep(
+    attn_per_layer: Sequence[np.ndarray],
+    thresholds: Sequence[float] = (0.0, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.03, 0.05),
+) -> dict[float, list[float]]:
+    """Per-layer sparsity for a sweep of thresholds (Figure 11).
+
+    Thresholds are fractions of each query row's maximum attention weight,
+    matching the paper's "percentage of the maximum attention score" x-axis.
+    """
+    return head_sparsity_by_threshold(attn_per_layer, thresholds)

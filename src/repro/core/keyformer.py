@@ -1,0 +1,98 @@
+"""The Keyformer eviction policy (Algorithm 1 of the paper).
+
+Keyformer keeps a *mixed* cache of the ``w`` most recent tokens plus the
+``k − w`` highest-scoring *key tokens*, where the score is the accumulated
+Gumbel-softmax of the unnormalized attention logits (Eq. 9) with a dynamic
+temperature that rises from ``τ_init`` to ``τ_end`` over the generation
+(Eq. 10).  The noise distribution, temperature schedule, per-layer vs shared
+score accumulation and positional handling are all configurable so that the
+paper's ablations (Tables 3–4, Figures 5, 12, 16) map directly onto
+constructor arguments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import KeyformerConfig
+from repro.core.distributions import make_noise
+from repro.core.policies import EvictionPolicy, mixed_topk_selection
+from repro.core.score import KeyformerScore
+from repro.core.temperature import ConstantTauSchedule, LinearTauSchedule
+
+__all__ = ["KeyformerPolicy"]
+
+
+class KeyformerPolicy(EvictionPolicy):
+    """Mixed recent-window + key-token eviction driven by a Gumbel-softmax score."""
+
+    name = "keyformer"
+
+    def __init__(self, config: KeyformerConfig | None = None):
+        config = config or KeyformerConfig()
+        super().__init__(config)
+        self.config: KeyformerConfig = config
+        self.shared_selection = config.shared_score
+        self.score = KeyformerScore(
+            noise=make_noise(config.noise, mu=config.noise_mu, sigma=config.noise_sigma),
+            shared=config.shared_score,
+            seed=config.seed,
+            prompt_mode=config.prompt_mode,
+            damping=config.score_damping,
+            resample=config.noise_resample,
+        )
+
+    # ------------------------------------------------------------------
+    def setup(self, n_layers, n_heads, batch_size, prompt_len, max_new_tokens) -> None:
+        super().setup(n_layers, n_heads, batch_size, prompt_len, max_new_tokens)
+        self.score.max_positions = max(prompt_len + max_new_tokens + 1, 16)
+        self.score.reset()
+        if self.config.static_tau is not None:
+            self.score.tau_schedule = ConstantTauSchedule(self.config.static_tau)
+        else:
+            self.score.tau_schedule = LinearTauSchedule(
+                self.config.tau_init,
+                self.config.tau_end,
+                max(max_new_tokens, 1),
+            )
+
+    # ------------------------------------------------------------------
+    def _select(self, layer_idx: int) -> np.ndarray:
+        scores = self.score.get(layer_idx)
+        selection = mixed_topk_selection(scores, self.budget, self.recent_window)
+        self.score.gather(layer_idx, selection)
+        return selection
+
+    def initial_selection(self, layer_idx, attn_probs, attn_logits=None, positions=None):
+        """Prompt-phase reduction from ``n`` to ``k`` tokens (Algorithm 1, step 1)."""
+        self.score.init_from_prompt(layer_idx, attn_probs, attn_logits, positions)
+        t = attn_probs.shape[-1]
+        if t <= self.budget:
+            return None
+        if self.shared_selection and layer_idx < self.n_layers - 1:
+            return None
+        return self._select(layer_idx)
+
+    def step_selection(self, layer_idx, logits, probs, key_positions, step):
+        """Token-generation-phase reduction keeping the cache at ``k`` tokens."""
+        self.score.update(layer_idx, logits, probs, positions=key_positions, step=step)
+        if logits.shape[-1] <= self.budget:
+            return None
+        if self.shared_selection and layer_idx < self.n_layers - 1:
+            return None
+        return self._select(layer_idx)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        summary = super().describe()
+        summary.update(
+            {
+                "noise": self.config.noise,
+                "tau_init": self.config.tau_init,
+                "tau_end": self.config.tau_end,
+                "static_tau": self.config.static_tau,
+                "shared_score": self.config.shared_score,
+                "positional_mode": self.config.positional_mode,
+            }
+        )
+        return summary

@@ -1,0 +1,273 @@
+"""Score functions used to identify key tokens.
+
+Two families are implemented:
+
+* :class:`AccumulatedAttentionScore` — the H2O-style score ``f_θ(acc attn)``
+  that accumulates post-softmax attention probabilities over decoding steps
+  (Eq. 2–3), optionally damped by a factor α (§2.3.3, Figure 5).
+* :class:`KeyformerScore` — the paper's Gumbel-softmax score (Eq. 9): the
+  unnormalized logits are perturbed with noise ζ drawn from a configurable
+  distribution and normalized with a temperature τ that grows as tokens are
+  discarded (Eq. 10).
+
+Both maintain one accumulator per decoder layer (per head, per batch element)
+or a single shared accumulator (Table 3 ablation).  Accumulators are kept in
+*cache order*: index ``j`` of the accumulator corresponds to the ``j``-th
+entry of the layer's KV cache, and :meth:`gather` must be called whenever the
+cache evicts entries so the two stay aligned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distributions import NoiseDistribution, NoAdjustment, make_noise
+from repro.core.temperature import ConstantTauSchedule, LinearTauSchedule, TauSchedule
+from repro.models.tensor_ops import softmax
+
+__all__ = ["entropy", "BaseScore", "AccumulatedAttentionScore", "KeyformerScore"]
+
+
+def entropy(probabilities: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Shannon entropy ``H(p) = -Σ p log p`` along ``axis`` (natural log)."""
+    p = np.asarray(probabilities, dtype=np.float64)
+    safe = np.where(p > 0, p, 1.0)
+    return -np.sum(p * np.log(safe), axis=axis)
+
+
+class BaseScore:
+    """Common storage/gather logic for per-layer score accumulators."""
+
+    def __init__(self, shared: bool = False):
+        self.shared = shared
+        self._scores: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def _key(self, layer_idx: int) -> int:
+        return 0 if self.shared else layer_idx
+
+    def reset(self) -> None:
+        """Drop all accumulated state (called at the start of each sequence)."""
+        self._scores = {}
+
+    def get(self, layer_idx: int) -> np.ndarray:
+        """Current accumulator for ``layer_idx`` (shape ``(B, H, L)``)."""
+        key = self._key(layer_idx)
+        if key not in self._scores:
+            raise KeyError(f"score for layer {layer_idx} not initialized")
+        return self._scores[key]
+
+    def has(self, layer_idx: int) -> bool:
+        return self._key(layer_idx) in self._scores
+
+    def set(self, layer_idx: int, scores: np.ndarray) -> None:
+        self._scores[self._key(layer_idx)] = np.asarray(scores, dtype=np.float64)
+
+    def _accumulate(self, layer_idx: int, contribution: np.ndarray) -> np.ndarray:
+        """Add ``contribution`` (shape ``(B, H, L)``), growing the accumulator
+        with zero-initialized slots for newly appended cache entries."""
+        key = self._key(layer_idx)
+        if key not in self._scores:
+            self._scores[key] = contribution.astype(np.float64).copy()
+            return self._scores[key]
+        current = self._scores[key]
+        length = contribution.shape[-1]
+        if current.shape[-1] < length:
+            pad = np.zeros(current.shape[:-1] + (length - current.shape[-1],))
+            current = np.concatenate([current, pad], axis=-1)
+        elif current.shape[-1] > length:
+            raise ValueError(
+                f"score length {current.shape[-1]} exceeds contribution length {length}; "
+                "cache and score are out of sync"
+            )
+        current = current + contribution
+        self._scores[key] = current
+        return current
+
+    def gather(self, layer_idx: int, indices: np.ndarray) -> None:
+        """Keep only the accumulator entries selected by ``indices`` (B, H, K)."""
+        key = self._key(layer_idx)
+        if key not in self._scores:
+            return
+        self._scores[key] = np.take_along_axis(self._scores[key], indices, axis=-1)
+
+    def reorder(self, batch_indices: np.ndarray) -> None:
+        """Reorder the batch/beam dimension of every accumulator (beam search)."""
+        batch_indices = np.asarray(batch_indices, dtype=np.int64)
+        for key, scores in self._scores.items():
+            self._scores[key] = scores[batch_indices]
+
+
+class AccumulatedAttentionScore(BaseScore):
+    """H2O-style accumulated attention score with optional damping."""
+
+    name = "accumulated-attention"
+
+    def __init__(self, shared: bool = False, damping: float = 1.0, prompt_mode: str = "all"):
+        super().__init__(shared=shared)
+        if not (0.0 < damping <= 1.0):
+            raise ValueError("damping must be in (0, 1]")
+        self.damping = damping
+        self.prompt_mode = prompt_mode
+
+    def init_from_prompt(
+        self,
+        layer_idx: int,
+        attn_probs: np.ndarray,
+        attn_logits: np.ndarray | None = None,
+        positions: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Accumulate the prompt-phase attention matrix ``(B, H, T, T)``."""
+        if self.prompt_mode == "all":
+            contribution = attn_probs.sum(axis=-2)
+        else:
+            contribution = attn_probs[..., -1, :]
+        return self._accumulate(layer_idx, contribution)
+
+    def update(
+        self,
+        layer_idx: int,
+        logits: np.ndarray,
+        probs: np.ndarray,
+        positions: np.ndarray | None = None,
+        step: int = 0,
+    ) -> np.ndarray:
+        """Accumulate one decoding step's attention probabilities ``(B, H, L)``."""
+        key = self._key(layer_idx)
+        if self.damping < 1.0 and key in self._scores:
+            self._scores[key] = self._scores[key] * self.damping
+        return self._accumulate(layer_idx, probs)
+
+
+class KeyformerScore(BaseScore):
+    """Keyformer's Gumbel-softmax score function (Eq. 9).
+
+    Parameters
+    ----------
+    noise:
+        A :class:`NoiseDistribution` instance or one of the names accepted by
+        :func:`repro.core.distributions.make_noise`.
+    tau_schedule:
+        Temperature schedule; defaults to the paper's linear 1 → 2 schedule
+        when ``total_steps`` is provided via :meth:`configure_schedule`.
+    shared:
+        Share one accumulator across layers (Table 3 ablation).
+    max_positions:
+        Length of the noise vector ζ indexed by original token position.
+    resample:
+        ``"per-step"`` (default) redraws ζ at every decoding step, as in the
+        Gumbel-softmax reparameterization the paper builds on (Jang et al.,
+        2016) — the noise then acts as a regularizer whose effect averages out
+        over the accumulation.  ``"fixed"`` draws ζ once per sequence
+        (a literal reading of Algorithm 1's initialization line); at the small
+        scale of this reproduction a fixed draw permanently biases a few
+        arbitrary positions and measurably hurts accuracy, so it is exposed
+        only as an ablation knob.
+    """
+
+    name = "keyformer"
+
+    def __init__(
+        self,
+        noise: NoiseDistribution | str = "gumbel",
+        tau_schedule: TauSchedule | None = None,
+        shared: bool = False,
+        max_positions: int = 4096,
+        seed: int = 0,
+        prompt_mode: str = "all",
+        damping: float = 1.0,
+        resample: str = "per-step",
+    ):
+        super().__init__(shared=shared)
+        if resample not in ("per-step", "fixed"):
+            raise ValueError(f"resample must be 'per-step' or 'fixed', got {resample!r}")
+        self.noise = make_noise(noise) if isinstance(noise, str) else noise
+        self.tau_schedule = tau_schedule or ConstantTauSchedule(1.0)
+        self.max_positions = max_positions
+        self.seed = seed
+        self.prompt_mode = prompt_mode
+        self.damping = damping
+        self.resample = resample
+        self.rng = np.random.default_rng(seed)
+        self.zeta = self.noise.sample(max_positions, self.rng)
+        self._last_resample_step: int | None = None
+
+    # ------------------------------------------------------------------
+    def configure_schedule(self, tau_init: float, tau_end: float, total_steps: int) -> None:
+        """Install the dynamic τ schedule of Eq. 10 for a generation of
+        ``total_steps`` tokens."""
+        self.tau_schedule = LinearTauSchedule(tau_init, tau_end, total_steps)
+
+    def reset(self) -> None:
+        """Reset accumulators and re-sample the noise vector ζ."""
+        super().reset()
+        self.rng = np.random.default_rng(self.seed)
+        self.zeta = self.noise.sample(self.max_positions, self.rng)
+        self._last_resample_step = None
+
+    def _zeta_for(self, positions: np.ndarray) -> np.ndarray:
+        """Fixed-mode noise values for the given original positions."""
+        idx = np.clip(np.asarray(positions, dtype=np.int64), 0, self.max_positions - 1)
+        return self.zeta[idx]
+
+    def noisy_softmax(
+        self, logits: np.ndarray, positions: np.ndarray | None, tau: float
+    ) -> np.ndarray:
+        """``softmax((x + ζ)/τ)`` over the last axis, leaving ``-inf`` masked.
+
+        In ``per-step`` mode the adjustment ζ is drawn fresh for every call
+        (element-wise, as in the Gumbel-softmax reparameterization); in
+        ``fixed`` mode token ``i`` always receives the same ζ_i, indexed by its
+        original position.
+        """
+        logits = np.asarray(logits, dtype=np.float64)
+        if self.resample == "per-step":
+            zeta = self.noise.sample(logits.size, self.rng).reshape(logits.shape)
+        elif positions is None:
+            zeta = self.zeta[: logits.shape[-1]]
+        else:
+            zeta = self._zeta_for(positions)
+        adjusted = np.where(np.isfinite(logits), (logits + zeta) / tau, -np.inf)
+        return softmax(adjusted, axis=-1)
+
+    # ------------------------------------------------------------------
+    def init_from_prompt(
+        self,
+        layer_idx: int,
+        attn_probs: np.ndarray,
+        attn_logits: np.ndarray | None = None,
+        positions: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Prompt-phase accumulation using the unnormalized logits ``(B, H, T, T)``.
+
+        The prompt phase uses τ(0) = τ_init (no tokens have been discarded
+        yet), so with τ_init = 1 the noisy softmax is close to the standard
+        softmax as described in §3.3.1.
+        """
+        if attn_logits is None:
+            raise ValueError("KeyformerScore requires the unnormalized prompt logits")
+        tau = self.tau_schedule(0)
+        seq_len = attn_logits.shape[-1]
+        pos = np.arange(seq_len) if positions is None else np.asarray(positions)
+        noisy = self.noisy_softmax(attn_logits, pos, tau)
+        if self.prompt_mode == "all":
+            contribution = noisy.sum(axis=-2)
+        else:
+            contribution = noisy[..., -1, :]
+        return self._accumulate(layer_idx, contribution)
+
+    def update(
+        self,
+        layer_idx: int,
+        logits: np.ndarray,
+        probs: np.ndarray,
+        positions: np.ndarray | None = None,
+        step: int = 0,
+    ) -> np.ndarray:
+        """Decoding-step accumulation using the step's unnormalized logits."""
+        tau = self.tau_schedule(step)
+        key = self._key(layer_idx)
+        if self.damping < 1.0 and key in self._scores:
+            self._scores[key] = self._scores[key] * self.damping
+        contribution = self.noisy_softmax(logits, positions, tau)
+        return self._accumulate(layer_idx, contribution)

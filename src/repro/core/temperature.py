@@ -1,0 +1,62 @@
+"""Temperature schedules for the Keyformer score function (Eq. 10)."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["TauSchedule", "ConstantTauSchedule", "LinearTauSchedule"]
+
+
+class TauSchedule(ABC):
+    """Maps a decoding-step index to a temperature value τ."""
+
+    @abstractmethod
+    def __call__(self, step: int) -> float:
+        """Temperature at decoding step ``step`` (0 = prompt phase)."""
+
+
+class ConstantTauSchedule(TauSchedule):
+    """Static temperature used for the Figure 16 ablation."""
+
+    def __init__(self, tau: float = 1.0):
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        self.tau = tau
+
+    def __call__(self, step: int) -> float:
+        return self.tau
+
+    def __repr__(self) -> str:
+        return f"ConstantTauSchedule(tau={self.tau})"
+
+
+class LinearTauSchedule(TauSchedule):
+    """Linearly increasing temperature ``τ = τ_init + t·Δτ`` (Eq. 10).
+
+    ``Δτ = (τ_end − τ_init) / T`` where ``T`` is the expected text-generation
+    length.  As more tokens are discarded the schedule increases randomness in
+    the score function, compensating for the missing probability mass of the
+    discarded tokens.
+    """
+
+    def __init__(self, tau_init: float = 1.0, tau_end: float = 2.0, total_steps: int = 1):
+        if tau_init <= 0 or tau_end <= 0:
+            raise ValueError("temperatures must be positive")
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.tau_init = tau_init
+        self.tau_end = tau_end
+        self.total_steps = total_steps
+        self.delta = (tau_end - tau_init) / total_steps
+
+    def __call__(self, step: int) -> float:
+        step = max(int(step), 0)
+        tau = self.tau_init + step * self.delta
+        low, high = sorted((self.tau_init, self.tau_end))
+        return float(min(max(tau, low), high))
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearTauSchedule(tau_init={self.tau_init}, tau_end={self.tau_end}, "
+            f"total_steps={self.total_steps})"
+        )

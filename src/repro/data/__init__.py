@@ -1,0 +1,50 @@
+"""Synthetic datasets standing in for the paper's evaluation corpora.
+
+The paper evaluates on CNN/DailyMail and GovReport (summarization), SODA
+(conversation) and four lm-eval-harness multiple-choice tasks.  Those corpora
+are unavailable offline, so this subpackage generates synthetic analogues that
+preserve the property the paper's evaluation depends on: *a small set of
+distant "key" tokens (salient facts) carries the information needed to produce
+the reference output*, so cache-eviction policies that keep those tokens
+(Keyformer, H2O) succeed while purely recency-based policies (window
+attention) fail.
+"""
+
+from repro.data.world import SyntheticWorld, Fact
+from repro.data.summarization import (
+    SummarizationExample,
+    SummarizationDataset,
+    SummarizationConfig,
+)
+from repro.data.conversation import (
+    ConversationExample,
+    ConversationDataset,
+    ConversationConfig,
+)
+from repro.data.fewshot import (
+    MCQExample,
+    FewShotTask,
+    FewShotConfig,
+    FEWSHOT_TASKS,
+    make_fewshot_task,
+)
+from repro.data.registry import DATASETS, make_dataset, build_shared_tokenizer
+
+__all__ = [
+    "SyntheticWorld",
+    "Fact",
+    "SummarizationExample",
+    "SummarizationDataset",
+    "SummarizationConfig",
+    "ConversationExample",
+    "ConversationDataset",
+    "ConversationConfig",
+    "MCQExample",
+    "FewShotTask",
+    "FewShotConfig",
+    "FEWSHOT_TASKS",
+    "make_fewshot_task",
+    "DATASETS",
+    "make_dataset",
+    "build_shared_tokenizer",
+]

@@ -1,0 +1,55 @@
+"""Dataset registry and shared tokenizer construction."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.data.conversation import ConversationConfig, ConversationDataset
+from repro.data.fewshot import FEWSHOT_TASKS, FewShotConfig, FewShotTask
+from repro.data.summarization import SummarizationConfig, SummarizationDataset
+from repro.data.world import SyntheticWorld
+from repro.tokenizer.word import WordTokenizer
+
+__all__ = ["DATASETS", "make_dataset", "build_shared_tokenizer"]
+
+DATASETS = (
+    "cnn_dailymail",
+    "govreport",
+    "soda",
+) + FEWSHOT_TASKS
+
+
+def build_shared_tokenizer(world: SyntheticWorld | None = None) -> WordTokenizer:
+    """Build one tokenizer that covers every dataset generated from the world.
+
+    Using a single closed-vocabulary tokenizer for all tasks mirrors the paper
+    setup, where one pretrained tokenizer serves every evaluation dataset.
+    """
+    world = world or SyntheticWorld(seed=0)
+    return WordTokenizer.from_corpus([world.full_vocabulary_text()])
+
+
+def make_dataset(name: str, world: SyntheticWorld | None = None, **kwargs: Any):
+    """Instantiate a dataset (or few-shot task) by registry name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASETS`: ``cnn_dailymail``, ``govreport``, ``soda`` or
+        a few-shot task name.
+    world:
+        Optional shared :class:`SyntheticWorld`; a seed-0 world is created if
+        omitted.
+    kwargs:
+        Forwarded to the dataset config (e.g. ``n_examples=...``, ``seed=...``).
+    """
+    world = world or SyntheticWorld(seed=0)
+    if name == "cnn_dailymail":
+        return SummarizationDataset(world, SummarizationConfig.cnn_dailymail_mini(**kwargs))
+    if name == "govreport":
+        return SummarizationDataset(world, SummarizationConfig.govreport_mini(**kwargs))
+    if name == "soda":
+        return ConversationDataset(world, ConversationConfig(**kwargs))
+    if name in FEWSHOT_TASKS:
+        return FewShotTask(name, world, FewShotConfig(**kwargs) if kwargs else None)
+    raise KeyError(f"unknown dataset {name!r}; available: {DATASETS}")

@@ -1,0 +1,59 @@
+"""Experiment runners — one per table/figure of the paper's evaluation.
+
+Every runner returns one or more :class:`repro.analysis.reporting.ResultTable`
+objects whose rows mirror the series the paper plots/tabulates.  The benchmark
+harness in ``benchmarks/`` calls these runners, prints the tables, and writes
+them under ``results/`` so EXPERIMENTS.md can record paper-vs-measured values.
+"""
+
+from repro.experiments.common import ExperimentContext, get_context, EVAL_SEED
+from repro.experiments.accuracy_sweep import (
+    run_accuracy_sweep,
+    run_fig3_accuracy_comparison,
+    run_long_context_sweep,
+)
+from repro.experiments.ablations import (
+    run_damping_sweep,
+    run_recent_ratio_sweep,
+    run_temperature_sweep,
+    run_table3_ablations,
+    run_table4_distributions,
+)
+from repro.experiments.fewshot import run_fewshot_table
+from repro.experiments.performance import (
+    run_fig1_motivation,
+    run_fig9_speedup,
+    run_fig10_breakdown,
+    run_table1_throughput,
+)
+from repro.experiments.attention_analysis import (
+    run_fig3_sparsity_and_cdf,
+    run_fig4_distribution_shift,
+    run_fig11_threshold_sparsity,
+    run_heatmap_figures,
+)
+from repro.experiments.qualitative import run_qualitative_comparison
+
+__all__ = [
+    "ExperimentContext",
+    "get_context",
+    "EVAL_SEED",
+    "run_accuracy_sweep",
+    "run_fig3_accuracy_comparison",
+    "run_long_context_sweep",
+    "run_damping_sweep",
+    "run_recent_ratio_sweep",
+    "run_temperature_sweep",
+    "run_table3_ablations",
+    "run_table4_distributions",
+    "run_fewshot_table",
+    "run_fig1_motivation",
+    "run_fig9_speedup",
+    "run_fig10_breakdown",
+    "run_table1_throughput",
+    "run_fig3_sparsity_and_cdf",
+    "run_fig4_distribution_shift",
+    "run_fig11_threshold_sparsity",
+    "run_heatmap_figures",
+    "run_qualitative_comparison",
+]

@@ -1,0 +1,208 @@
+"""Ablation studies: damping, recent-ratio, temperature, score sharing, positions, noise.
+
+Covers Figure 5, Figure 12, Figure 16, Table 3 and Table 4.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.reporting import ResultTable
+from repro.core.config import KeyformerConfig
+from repro.core.keyformer import KeyformerPolicy
+from repro.core.policies import H2OPolicy
+from repro.core.config import CachePolicyConfig
+from repro.experiments.common import ExperimentContext, get_context
+
+__all__ = [
+    "run_damping_sweep",
+    "run_recent_ratio_sweep",
+    "run_temperature_sweep",
+    "run_table3_ablations",
+    "run_table4_distributions",
+]
+
+
+def run_damping_sweep(
+    model_name: str = "cerebras_mini",
+    damping_factors: Sequence[float] = (1.0, 0.975, 0.95, 0.925, 0.9, 0.875),
+    kv_fraction: float = 0.5,
+    recent_ratio: float = 0.2,
+    limit: int = 6,
+    context: ExperimentContext | None = None,
+) -> ResultTable:
+    """Figure 5: damping the accumulated-attention score does not recover accuracy.
+
+    The damped score is the H2O-style accumulated attention multiplied by a
+    factor α at every decoding step (§2.3.3); the table also contains the
+    full-attention reference row.
+    """
+    context = context or get_context()
+    pipeline = context.summarization_pipeline(model_name)
+    dataset = context.dataset("cnn_dailymail")
+
+    table = ResultTable(
+        name="fig05_damping_sweep",
+        headers=["model", "damping", "kv_budget", "rouge1", "rouge2", "rougeL"],
+        notes="Damped accumulated-attention score (H2O-style) at 50% KV cache, 20% recent ratio.",
+    )
+    full = pipeline.evaluate_dataset(dataset, policy=context.policy("full"), limit=limit)
+    table.add_row(model_name, "full-attention", 1.0, full.rouge["rouge1"], full.rouge["rouge2"], full.rouge["rougeL"])
+    for alpha in damping_factors:
+        policy = H2OPolicy(
+            CachePolicyConfig(kv_fraction=kv_fraction, recent_ratio=recent_ratio),
+            damping=alpha,
+        )
+        report = pipeline.evaluate_dataset(dataset, policy=policy, limit=limit)
+        table.add_row(
+            model_name, alpha, kv_fraction,
+            report.rouge["rouge1"], report.rouge["rouge2"], report.rouge["rougeL"],
+        )
+    return table
+
+
+def run_recent_ratio_sweep(
+    models: Sequence[str] = ("gptj_mini", "cerebras_mini", "mpt_mini"),
+    recent_ratios: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    kv_fraction: float = 0.7,
+    limit: int = 6,
+    context: ExperimentContext | None = None,
+) -> ResultTable:
+    """Figure 12 / §4.4.4: sweep the recent-window share w of the 70 % budget."""
+    context = context or get_context()
+    table = ResultTable(
+        name="fig12_recent_ratio_sweep",
+        headers=["model", "recent_ratio", "kv_budget", "rouge2"],
+        notes="Keyformer with a fixed 70% KV budget; the recent window takes recent_ratio of it.",
+    )
+    for model_name in models:
+        pipeline = context.summarization_pipeline(model_name)
+        dataset = context.dataset("cnn_dailymail")
+        for ratio in recent_ratios:
+            policy = context.policy("keyformer", kv_fraction=kv_fraction, recent_ratio=ratio)
+            report = pipeline.evaluate_dataset(dataset, policy=policy, limit=limit)
+            table.add_row(model_name, ratio, kv_fraction, report.rouge["rouge2"])
+    return table
+
+
+def run_temperature_sweep(
+    model_name: str = "mpt_mini",
+    static_taus: Sequence[float] = (1.0, 2.0, 3.0, 5.0, 10.0, 15.0),
+    kv_fraction: float = 0.5,
+    limit: int = 6,
+    context: ExperimentContext | None = None,
+) -> ResultTable:
+    """Figure 16 / Appendix A.8: static τ values vs the dynamic τ: 1 → 2 schedule."""
+    context = context or get_context()
+    pipeline = context.summarization_pipeline(model_name)
+    dataset = context.dataset("cnn_dailymail")
+    table = ResultTable(
+        name="fig16_temperature_sweep",
+        headers=["model", "tau", "kv_budget", "rouge2"],
+        notes="'dynamic' is the paper's tau_init=1 -> tau_end=2 schedule (Eq. 10).",
+    )
+    dynamic = context.policy("keyformer", kv_fraction=kv_fraction, tau_init=1.0, tau_end=2.0)
+    report = pipeline.evaluate_dataset(dataset, policy=dynamic, limit=limit)
+    table.add_row(model_name, "dynamic(1->2)", kv_fraction, report.rouge["rouge2"])
+    for tau in static_taus:
+        policy = context.policy("keyformer", kv_fraction=kv_fraction, static_tau=tau)
+        report = pipeline.evaluate_dataset(dataset, policy=policy, limit=limit)
+        table.add_row(model_name, tau, kv_fraction, report.rouge["rouge2"])
+    return table
+
+
+def run_table3_ablations(
+    model_name: str = "mpt_mini",
+    kv_fraction: float = 0.6,
+    limit: int = 6,
+    context: ExperimentContext | None = None,
+) -> ResultTable:
+    """Table 3: attention methods, score-function sharing and positional handling.
+
+    Rows mirror the paper: Full, Full 99 % threshold, Window, H2O (per-layer),
+    StreamingLLM, Keyformer (New Pos), Keyformer (Org Pos, per-layer) and
+    Keyformer (Org Pos, shared score), all at a 60 % KV-cache budget.
+    """
+    context = context or get_context()
+    pipeline = context.summarization_pipeline(model_name)
+    dataset = context.dataset("cnn_dailymail")
+    table = ResultTable(
+        name="table3_score_fn_and_positions",
+        headers=["method", "score_fn", "kv_budget", "rouge1", "rouge2", "rougeL"],
+        notes=f"Summarization task (CNN/DailyMail analogue), model={model_name}.",
+    )
+
+    def add(method: str, score_fn: str, budget, report) -> None:
+        table.add_row(
+            method, score_fn, budget,
+            report.rouge["rouge1"], report.rouge["rouge2"], report.rouge["rougeL"],
+        )
+
+    full = pipeline.evaluate_dataset(dataset, policy=context.policy("full"), limit=limit)
+    add("Full", "-", "original", full)
+    table.add_row(
+        "Full (99% Accuracy)", "-", "original",
+        0.99 * full.rouge["rouge1"], 0.99 * full.rouge["rouge2"], 0.99 * full.rouge["rougeL"],
+    )
+
+    window = pipeline.evaluate_dataset(
+        dataset, policy=context.policy("window", kv_fraction=kv_fraction), limit=limit
+    )
+    add("Window", "-", kv_fraction, window)
+
+    h2o = pipeline.evaluate_dataset(
+        dataset, policy=context.policy("h2o", kv_fraction=kv_fraction), limit=limit
+    )
+    add("H2O", "Per-Layer", kv_fraction, h2o)
+
+    streaming = pipeline.evaluate_dataset(
+        dataset, policy=context.policy("streaming-llm", kv_fraction=kv_fraction), limit=limit
+    )
+    add("StreamingLLM", "-", kv_fraction, streaming)
+
+    kf_newpos = pipeline.evaluate_dataset(
+        dataset,
+        policy=context.policy("keyformer", kv_fraction=kv_fraction, positional_mode="new"),
+        limit=limit,
+    )
+    add("Keyformer (New Pos)", "Per-Layer", kv_fraction, kf_newpos)
+
+    kf_orgpos = pipeline.evaluate_dataset(
+        dataset,
+        policy=context.policy("keyformer", kv_fraction=kv_fraction, positional_mode="original"),
+        limit=limit,
+    )
+    add("Keyformer (Org Pos)", "Per-Layer", kv_fraction, kf_orgpos)
+
+    kf_shared = pipeline.evaluate_dataset(
+        dataset,
+        policy=context.policy(
+            "keyformer", kv_fraction=kv_fraction, positional_mode="original", shared_score=True
+        ),
+        limit=limit,
+    )
+    add("Keyformer (Org Pos)", "Shared", kv_fraction, kf_shared)
+    return table
+
+
+def run_table4_distributions(
+    models: Sequence[str] = ("gptj_mini", "cerebras_mini", "mpt_mini"),
+    kv_fraction: float = 0.6,
+    limit: int = 6,
+    context: ExperimentContext | None = None,
+) -> ResultTable:
+    """Table 4: Gumbel vs Gaussian vs constant vs no logit adjustment (60 % cache)."""
+    context = context or get_context()
+    table = ResultTable(
+        name="table4_logit_adjustment_distributions",
+        headers=["model", "noise", "kv_budget", "rouge2"],
+        notes="Keyformer score with different logit-adjustment distributions.",
+    )
+    for model_name in models:
+        pipeline = context.summarization_pipeline(model_name)
+        dataset = context.dataset("cnn_dailymail")
+        for noise in ("gumbel", "gaussian", "constant", "none"):
+            policy = context.policy("keyformer", kv_fraction=kv_fraction, noise=noise)
+            report = pipeline.evaluate_dataset(dataset, policy=policy, limit=limit)
+            table.add_row(model_name, noise, kv_fraction, report.rouge["rouge2"])
+    return table

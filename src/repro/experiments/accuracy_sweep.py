@@ -1,0 +1,144 @@
+"""Accuracy-vs-KV-cache-budget sweeps (Figures 3c, 7, 8, 13).
+
+These runners evaluate generation quality (ROUGE) for Full Attention, Window
+Attention, H2O and Keyformer while sweeping the KV-cache budget, on the
+summarization and conversation tasks, across the three mini model families.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.reporting import ResultTable
+from repro.experiments.common import ExperimentContext, get_context
+
+__all__ = [
+    "run_accuracy_sweep",
+    "run_fig3_accuracy_comparison",
+    "run_long_context_sweep",
+]
+
+DEFAULT_BUDGETS = (0.2, 0.3, 0.5, 0.7, 0.9)
+DEFAULT_POLICIES = ("window", "h2o", "keyformer")
+
+
+def _pipeline_for(context: ExperimentContext, task: str, model_name: str):
+    if task == "conversation":
+        return context.conversation_pipeline(model_name), context.dataset("soda")
+    if task == "long-summarization":
+        return (
+            context.summarization_pipeline(model_name),
+            context.dataset("govreport", n_examples=12),
+        )
+    return context.summarization_pipeline(model_name), context.dataset("cnn_dailymail")
+
+
+def run_accuracy_sweep(
+    models: Sequence[str] = ("gptj_mini", "cerebras_mini", "mpt_mini"),
+    tasks: Sequence[str] = ("summarization", "conversation"),
+    budgets: Sequence[float] = DEFAULT_BUDGETS,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    limit: int = 6,
+    context: ExperimentContext | None = None,
+) -> ResultTable:
+    """Figure 7 (and 13): ROUGE vs KV-cache budget for every model × task × policy.
+
+    The returned table contains ROUGE-1/2/L for every configuration plus the
+    full-attention reference row (budget = 1.0) per model × task, so both the
+    ROUGE-2 sweep (Figure 7) and the ROUGE-1/L sweeps (Figure 13) can be read
+    from a single run.
+    """
+    context = context or get_context()
+    table = ResultTable(
+        name="fig07_accuracy_vs_kv_budget",
+        headers=["model", "task", "policy", "kv_budget", "rouge1", "rouge2", "rougeL"],
+        notes="Full attention row has kv_budget=1.0; 99% MLPerf threshold applies to it.",
+    )
+    for model_name in models:
+        for task in tasks:
+            pipeline, dataset = _pipeline_for(context, task, model_name)
+            full_report = pipeline.evaluate_dataset(
+                dataset, policy=context.policy("full"), limit=limit
+            )
+            table.add_row(
+                model_name,
+                task,
+                "full",
+                1.0,
+                full_report.rouge["rouge1"],
+                full_report.rouge["rouge2"],
+                full_report.rouge["rougeL"],
+            )
+            for policy_name in policies:
+                for budget in budgets:
+                    report = pipeline.evaluate_dataset(
+                        dataset,
+                        policy=context.policy(policy_name, kv_fraction=budget),
+                        limit=limit,
+                    )
+                    table.add_row(
+                        model_name,
+                        task,
+                        policy_name,
+                        budget,
+                        report.rouge["rouge1"],
+                        report.rouge["rouge2"],
+                        report.rouge["rougeL"],
+                    )
+    return table
+
+
+def run_fig3_accuracy_comparison(
+    models: Sequence[str] = ("gptj_mini", "cerebras_mini", "mpt_mini"),
+    kv_fraction: float = 0.5,
+    limit: int = 6,
+    context: ExperimentContext | None = None,
+) -> ResultTable:
+    """Figure 3c: Full vs Key-only vs Window vs H2O at 50 % KV cache (summarization)."""
+    context = context or get_context()
+    table = ResultTable(
+        name="fig03c_attention_scheme_accuracy",
+        headers=["model", "scheme", "kv_budget", "rouge2"],
+        notes="Key/Window/H2O at 50% of the KV cache; Full uses the whole cache.",
+    )
+    schemes = [
+        ("full", 1.0),
+        ("key-only", kv_fraction),
+        ("window", kv_fraction),
+        ("h2o", kv_fraction),
+    ]
+    for model_name in models:
+        pipeline = context.summarization_pipeline(model_name)
+        dataset = context.dataset("cnn_dailymail")
+        for scheme, budget in schemes:
+            report = pipeline.evaluate_dataset(
+                dataset, policy=context.policy(scheme, kv_fraction=budget), limit=limit
+            )
+            table.add_row(model_name, scheme, budget, report.rouge["rouge2"])
+    return table
+
+
+def run_long_context_sweep(
+    model_name: str = "mpt_storywriter_mini",
+    budgets: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
+    policies: Sequence[str] = ("h2o", "keyformer"),
+    limit: int = 4,
+    context: ExperimentContext | None = None,
+) -> ResultTable:
+    """Figure 8: long-context summarization (GovReport analogue) at 10–50 % cache."""
+    context = context or get_context()
+    pipeline, dataset = _pipeline_for(context, "long-summarization", model_name)
+    table = ResultTable(
+        name="fig08_long_context_summarization",
+        headers=["model", "policy", "kv_budget", "rouge2"],
+        notes="MPT-storywriter analogue on the long-document (GovReport-like) dataset.",
+    )
+    full_report = pipeline.evaluate_dataset(dataset, policy=context.policy("full"), limit=limit)
+    table.add_row(model_name, "full", 1.0, full_report.rouge["rouge2"])
+    for policy_name in policies:
+        for budget in budgets:
+            report = pipeline.evaluate_dataset(
+                dataset, policy=context.policy(policy_name, kv_fraction=budget), limit=limit
+            )
+            table.add_row(model_name, policy_name, budget, report.rouge["rouge2"])
+    return table

@@ -1,0 +1,124 @@
+"""Command-line entry point for regenerating individual paper experiments.
+
+Usage::
+
+    python -m repro.experiments fig07 --limit 8
+    python -m repro.experiments table1
+    python -m repro.experiments --list
+
+Each experiment name maps to the runner that regenerates the corresponding
+table/figure; results are printed and optionally written to ``--output-dir``.
+The benchmark harness in ``benchmarks/`` wraps the same runners with
+pytest-benchmark timing; this CLI is the convenient one-off interface.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis.reporting import ResultTable
+from repro.experiments import (
+    run_accuracy_sweep,
+    run_damping_sweep,
+    run_fewshot_table,
+    run_fig1_motivation,
+    run_fig3_accuracy_comparison,
+    run_fig3_sparsity_and_cdf,
+    run_fig4_distribution_shift,
+    run_fig9_speedup,
+    run_fig10_breakdown,
+    run_fig11_threshold_sparsity,
+    run_heatmap_figures,
+    run_long_context_sweep,
+    run_qualitative_comparison,
+    run_recent_ratio_sweep,
+    run_table1_throughput,
+    run_table3_ablations,
+    run_table4_distributions,
+    run_temperature_sweep,
+)
+from repro.experiments.common import get_context
+
+__all__ = ["EXPERIMENTS", "main"]
+
+
+def _tables(result) -> list[ResultTable]:
+    """Normalize runner return values to a list of tables."""
+    if isinstance(result, ResultTable):
+        return [result]
+    if isinstance(result, tuple):
+        return [item for item in result if isinstance(item, ResultTable)]
+    return []
+
+
+#: experiment id -> (description, callable accepting (context, limit))
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "fig01": ("Latency growth and KV-cache vs model size", lambda ctx, limit: run_fig1_motivation()),
+    "fig03ab": ("Attention sparsity and mass CDF", lambda ctx, limit: run_fig3_sparsity_and_cdf(context=ctx)),
+    "fig03c": ("Attention-scheme accuracy at 50% cache", lambda ctx, limit: run_fig3_accuracy_comparison(limit=limit, context=ctx)),
+    "fig04": ("Score-distribution shift after reduction", lambda ctx, limit: run_fig4_distribution_shift(context=ctx)),
+    "fig05": ("Damping-factor sweep", lambda ctx, limit: run_damping_sweep(limit=limit, context=ctx)),
+    "fig07": ("Accuracy vs KV-cache budget sweep", lambda ctx, limit: run_accuracy_sweep(limit=limit, context=ctx)),
+    "fig08": ("Long-context summarization sweep", lambda ctx, limit: run_long_context_sweep(limit=max(limit // 2, 2), context=ctx)),
+    "fig09": ("Iso-accuracy speedup", lambda ctx, limit: run_fig9_speedup()),
+    "fig10": ("KV-movement / scaled-dot-product breakdown", lambda ctx, limit: run_fig10_breakdown()),
+    "fig11": ("Threshold sparsity sweep", lambda ctx, limit: run_fig11_threshold_sparsity(context=ctx)),
+    "fig12": ("Recent-ratio sweep", lambda ctx, limit: run_recent_ratio_sweep(limit=limit, context=ctx)),
+    "fig16": ("Temperature sweep", lambda ctx, limit: run_temperature_sweep(limit=limit, context=ctx)),
+    "table1": ("Generation throughput", lambda ctx, limit: run_table1_throughput()),
+    "table2": ("Few-shot accuracy", lambda ctx, limit: run_fewshot_table(limit=limit, context=ctx)),
+    "table3": ("Score-function / position ablations", lambda ctx, limit: run_table3_ablations(limit=limit, context=ctx)),
+    "table4": ("Logit-adjustment distributions", lambda ctx, limit: run_table4_distributions(limit=limit, context=ctx)),
+    "appendix-a1": ("Qualitative comparison", lambda ctx, limit: run_qualitative_comparison(context=ctx)[0]),
+    "heatmaps": ("Attention heatmaps (fig 14/15)", lambda ctx, limit: run_heatmap_figures(context=ctx)),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("experiment", nargs="?", help="experiment id (see --list)")
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument("--limit", type=int, default=8, help="evaluation examples per configuration")
+    parser.add_argument("--output-dir", type=Path, default=None, help="write tables to this directory")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        print("Available experiments:")
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"  {name:14s} {description}")
+        return 0
+
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; use --list", file=sys.stderr)
+        return 2
+
+    description, runner = EXPERIMENTS[args.experiment]
+    print(f"Running {args.experiment}: {description}")
+    context = get_context()
+    result = runner(context, args.limit)
+
+    if args.experiment == "heatmaps":
+        for model_name, panels in result.items():
+            print(f"\n--- {model_name} ---")
+            print("\n\n".join(panels[:4]))
+        return 0
+
+    for table in _tables(result):
+        print()
+        print(table.to_text())
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            path = args.output_dir / f"{table.name}.txt"
+            path.write_text(table.to_text() + "\n")
+            print(f"[saved to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Next-token selection strategies."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.models.tensor_ops import softmax
+
+__all__ = ["Sampler", "GreedySampler", "TopKSampler", "make_sampler"]
+
+
+class Sampler(ABC):
+    """Maps next-token logits ``(batch, vocab)`` to token ids ``(batch,)``."""
+
+    @abstractmethod
+    def __call__(self, logits: np.ndarray) -> np.ndarray:
+        ...
+
+
+class GreedySampler(Sampler):
+    """Deterministic argmax decoding (used by the accuracy experiments)."""
+
+    def __call__(self, logits: np.ndarray) -> np.ndarray:
+        logits = np.atleast_2d(np.asarray(logits))
+        return np.argmax(logits, axis=-1).astype(np.int64)
+
+
+class TopKSampler(Sampler):
+    """Temperature + top-k sampling."""
+
+    def __init__(self, top_k: int = 10, temperature: float = 1.0, seed: int = 0):
+        if top_k < 0:
+            raise ValueError("top_k must be non-negative (0 disables truncation)")
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.top_k = top_k
+        self.temperature = temperature
+        self.rng = np.random.default_rng(seed)
+
+    def __call__(self, logits: np.ndarray) -> np.ndarray:
+        logits = np.atleast_2d(np.asarray(logits, dtype=np.float64)) / self.temperature
+        if self.top_k:
+            k = min(self.top_k, logits.shape[-1])
+            thresholds = np.partition(logits, -k, axis=-1)[:, -k][:, None]
+            logits = np.where(logits < thresholds, -np.inf, logits)
+        probs = softmax(logits, axis=-1)
+        out = np.empty(probs.shape[0], dtype=np.int64)
+        for i, row in enumerate(probs):
+            out[i] = self.rng.choice(row.size, p=row)
+        return out
+
+
+def make_sampler(
+    temperature: float = 1.0, top_k: int = 0, seed: int = 0
+) -> Sampler:
+    """Greedy when no randomness is requested, otherwise top-k sampling."""
+    if top_k == 0 and temperature == 1.0:
+        return GreedySampler()
+    return TopKSampler(top_k=top_k or 0, temperature=temperature, seed=seed)

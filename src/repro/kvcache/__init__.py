@@ -1,0 +1,7 @@
+"""KV-cache data structures and the cache manager that applies eviction policies."""
+
+from repro.kvcache.cache import LayerKVCache
+from repro.kvcache.manager import CacheManager, LayerCacheView
+from repro.kvcache.stats import CacheStats
+
+__all__ = ["LayerKVCache", "CacheManager", "LayerCacheView", "CacheStats"]

@@ -1,0 +1,152 @@
+"""Per-layer key/value cache storage.
+
+Keys are stored *unrotated* (before RoPE) together with the original position
+of every token, so the attention step can apply either the original positional
+information (Keyformer (Org Pos)) or a contiguous renumbering
+(Keyformer (New Pos)) at read time.  Because eviction policies operate per
+attention head, every head of a layer may retain a different set of tokens:
+the storage layout is ``(batch, heads, length, d_head)`` with per-head
+position arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LayerKVCache"]
+
+
+class LayerKVCache:
+    """Key/value storage for one decoder layer."""
+
+    def __init__(self, keys: np.ndarray, values: np.ndarray, positions: np.ndarray):
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        positions = np.asarray(positions, dtype=np.int64)
+        if keys.shape != values.shape:
+            raise ValueError(f"keys/values shape mismatch: {keys.shape} vs {values.shape}")
+        if keys.ndim != 4:
+            raise ValueError(f"expected (batch, heads, length, d_head) keys, got {keys.shape}")
+        if positions.shape != keys.shape[:3]:
+            raise ValueError(
+                f"positions shape {positions.shape} must match {keys.shape[:3]}"
+            )
+        self.keys = keys
+        self.values = values
+        self.positions = positions
+        self.total_appended = keys.shape[2]
+        self.total_evicted = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_prompt(
+        cls, keys: np.ndarray, values: np.ndarray, positions: np.ndarray | None = None
+    ) -> "LayerKVCache":
+        """Build a cache from prompt-phase keys/values of shape ``(B, H, T, d)``.
+
+        ``positions`` defaults to ``0..T-1`` replicated across batch and heads.
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        b, h, t, _ = keys.shape
+        if positions is None:
+            positions = np.arange(t)
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.ndim == 1:
+            positions = np.broadcast_to(positions, (b, h, t)).copy()
+        return cls(keys, np.asarray(values, dtype=np.float64), positions)
+
+    @classmethod
+    def empty(cls, batch_size: int, n_heads: int, d_head: int) -> "LayerKVCache":
+        """An empty cache (used when decoding starts without a prompt)."""
+        return cls(
+            np.zeros((batch_size, n_heads, 0, d_head)),
+            np.zeros((batch_size, n_heads, 0, d_head)),
+            np.zeros((batch_size, n_heads, 0), dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        return self.keys.shape[0]
+
+    @property
+    def n_heads(self) -> int:
+        return self.keys.shape[1]
+
+    @property
+    def length(self) -> int:
+        """Number of cached tokens (per head)."""
+        return self.keys.shape[2]
+
+    @property
+    def d_head(self) -> int:
+        return self.keys.shape[3]
+
+    def __len__(self) -> int:
+        return self.length
+
+    def nbytes(self, dtype_bytes: int = 2) -> int:
+        """Size of the cached keys+values if stored with ``dtype_bytes`` per scalar
+        (2 bytes = fp16, matching deployment practice)."""
+        return 2 * self.keys.shape[0] * self.keys.shape[1] * self.length * self.d_head * dtype_bytes
+
+    # ------------------------------------------------------------------
+    def append(self, k: np.ndarray, v: np.ndarray, position: int) -> None:
+        """Append the key/value of a new token at original position ``position``.
+
+        ``k`` and ``v`` have shape ``(batch, heads, d_head)``.
+        """
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        if k.shape != (self.batch_size, self.n_heads, self.d_head):
+            raise ValueError(
+                f"append expects shape {(self.batch_size, self.n_heads, self.d_head)}, got {k.shape}"
+            )
+        self.keys = np.concatenate([self.keys, k[:, :, None, :]], axis=2)
+        self.values = np.concatenate([self.values, v[:, :, None, :]], axis=2)
+        new_pos = np.full((self.batch_size, self.n_heads, 1), int(position), dtype=np.int64)
+        self.positions = np.concatenate([self.positions, new_pos], axis=2)
+        self.total_appended += 1
+
+    def gather(self, indices: np.ndarray) -> None:
+        """Retain only the entries selected by ``indices`` of shape ``(B, H, K)``.
+
+        Indices must be sorted ascending per head so chronological order inside
+        the cache is preserved.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim == 1:
+            indices = np.broadcast_to(indices, (self.batch_size, self.n_heads, indices.size))
+        if indices.shape[:2] != (self.batch_size, self.n_heads):
+            raise ValueError(
+                f"indices shape {indices.shape} incompatible with cache "
+                f"({self.batch_size}, {self.n_heads}, ...)"
+            )
+        if indices.size and (indices.min() < 0 or indices.max() >= self.length):
+            raise IndexError("gather indices out of range")
+        evicted = self.length - indices.shape[-1]
+        self.keys = np.take_along_axis(self.keys, indices[..., None], axis=2)
+        self.values = np.take_along_axis(self.values, indices[..., None], axis=2)
+        self.positions = np.take_along_axis(self.positions, indices, axis=2)
+        self.total_evicted += max(evicted, 0)
+
+    def reorder(self, batch_indices: np.ndarray) -> None:
+        """Reorder (or duplicate) the batch dimension — used by beam search."""
+        batch_indices = np.asarray(batch_indices, dtype=np.int64)
+        if batch_indices.size and (
+            batch_indices.min() < 0 or batch_indices.max() >= self.batch_size
+        ):
+            raise IndexError("reorder indices out of range")
+        self.keys = self.keys[batch_indices]
+        self.values = self.values[batch_indices]
+        self.positions = self.positions[batch_indices]
+
+    # ------------------------------------------------------------------
+    def retained_original_positions(self) -> np.ndarray:
+        """Original positions of the retained tokens, shape ``(B, H, L)``."""
+        return self.positions.copy()
+
+    def renumbered_positions(self) -> np.ndarray:
+        """Contiguous 0..L-1 positions (Keyformer (New Pos) mode), shape ``(B, H, L)``."""
+        idx = np.arange(self.length)
+        return np.broadcast_to(idx, (self.batch_size, self.n_heads, self.length)).copy()

@@ -1,0 +1,224 @@
+"""Cache manager: connects decoder layers, KV caches and eviction policies.
+
+The manager owns one :class:`LayerKVCache` per decoder layer and a single
+eviction policy.  During incremental decoding each decoder block interacts
+with the manager through a :class:`LayerCacheView`, which implements the
+``LayerDecodeCache`` protocol expected by
+:meth:`repro.models.block.DecoderBlock.decode_step`:
+
+1. ``append`` stores the new token's key/value;
+2. ``attention_view`` exposes keys/values plus positional indices in either
+   original or renumbered form;
+3. ``observe`` hands the step's attention logits/probabilities to the policy,
+   which may return a selection of entries to retain; the manager applies the
+   selection (to one layer, or to all layers for shared score functions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policies import EvictionPolicy
+from repro.kvcache.cache import LayerKVCache
+from repro.kvcache.stats import CacheStats
+
+__all__ = ["CacheManager", "LayerCacheView"]
+
+
+class LayerCacheView:
+    """Per-layer facade implementing the model's ``LayerDecodeCache`` protocol."""
+
+    def __init__(self, manager: "CacheManager", layer_idx: int):
+        self.manager = manager
+        self.layer_idx = layer_idx
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        self.manager.append(self.layer_idx, k, v)
+
+    def attention_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        return self.manager.attention_view(self.layer_idx)
+
+    def observe(self, logits: np.ndarray, probs: np.ndarray) -> None:
+        self.manager.observe(self.layer_idx, logits, probs)
+
+
+class CacheManager:
+    """Owns per-layer KV caches and drives one eviction policy."""
+
+    def __init__(
+        self,
+        policy: EvictionPolicy,
+        n_layers: int,
+        n_heads: int,
+        d_head: int,
+        positional_mode: str | None = None,
+    ):
+        self.policy = policy
+        self.n_layers = n_layers
+        self.n_heads = n_heads
+        self.d_head = d_head
+        self.positional_mode = positional_mode or policy.config.positional_mode
+        if self.positional_mode not in ("original", "new"):
+            raise ValueError(f"unknown positional mode {self.positional_mode!r}")
+        self.caches: list[LayerKVCache] = []
+        self.stats = CacheStats(n_layers=n_layers, n_heads=n_heads, d_head=d_head)
+        self.prompt_len = 0
+        self.generation_step = 0
+        self.current_position = 0
+        self._step_lengths: list[int] = []
+
+    # ------------------------------------------------------------------
+    # prompt phase
+    # ------------------------------------------------------------------
+    def initialize_from_prompt(
+        self,
+        prompt_kv: list[tuple[np.ndarray, np.ndarray]],
+        prompt_attn: list[np.ndarray],
+        prompt_logits: list[np.ndarray],
+        max_new_tokens: int,
+    ) -> None:
+        """Seed the caches from prompt-phase tensors and apply the initial eviction.
+
+        Parameters
+        ----------
+        prompt_kv:
+            Per-layer ``(keys, values)`` of shape ``(B, H, T, d_head)``.
+        prompt_attn:
+            Per-layer post-softmax attention of shape ``(B, H, T, T)``.
+        prompt_logits:
+            Per-layer masked unnormalized logits of shape ``(B, H, T, T)``.
+        max_new_tokens:
+            Expected generation length ``T`` (drives the τ schedule).
+        """
+        if len(prompt_kv) != self.n_layers:
+            raise ValueError(f"expected {self.n_layers} layers of prompt KV, got {len(prompt_kv)}")
+        keys0 = prompt_kv[0][0]
+        batch_size, _, prompt_len, _ = keys0.shape
+        self.prompt_len = prompt_len
+        self.generation_step = 0
+        self.current_position = prompt_len  # original position of the next token
+        self.stats = CacheStats(
+            n_layers=self.n_layers,
+            n_heads=self.n_heads,
+            d_head=self.d_head,
+            batch_size=batch_size,
+            prompt_len=prompt_len,
+        )
+
+        self.policy.setup(self.n_layers, self.n_heads, batch_size, prompt_len, max_new_tokens)
+
+        self.caches = [
+            LayerKVCache.from_prompt(keys, values) for keys, values in prompt_kv
+        ]
+        self.stats.total_appended += prompt_len * self.n_layers
+
+        positions = np.arange(prompt_len)
+        shared_selection: np.ndarray | None = None
+        for layer_idx in range(self.n_layers):
+            selection = self.policy.initial_selection(
+                layer_idx, prompt_attn[layer_idx], prompt_logits[layer_idx], positions
+            )
+            if selection is None:
+                continue
+            if getattr(self.policy, "shared_selection", False):
+                shared_selection = selection
+            else:
+                self._apply_selection(layer_idx, selection)
+        if shared_selection is not None:
+            for layer_idx in range(self.n_layers):
+                self._apply_selection(layer_idx, shared_selection)
+
+    def initialize_empty(self, batch_size: int, max_new_tokens: int, prompt_len: int = 1) -> None:
+        """Start decoding with empty caches (used in unit tests and microbenchmarks)."""
+        self.prompt_len = 0
+        self.generation_step = 0
+        self.current_position = 0
+        self.policy.setup(self.n_layers, self.n_heads, batch_size, max(prompt_len, 1), max_new_tokens)
+        self.caches = [
+            LayerKVCache.empty(batch_size, self.n_heads, self.d_head)
+            for _ in range(self.n_layers)
+        ]
+        self.stats = CacheStats(
+            n_layers=self.n_layers,
+            n_heads=self.n_heads,
+            d_head=self.d_head,
+            batch_size=batch_size,
+            prompt_len=0,
+        )
+
+    # ------------------------------------------------------------------
+    # decode phase
+    # ------------------------------------------------------------------
+    def layer_view(self, layer_idx: int) -> LayerCacheView:
+        """The per-layer facade handed to ``DecoderBlock.decode_step``."""
+        if not (0 <= layer_idx < self.n_layers):
+            raise IndexError(f"layer index {layer_idx} out of range")
+        return LayerCacheView(self, layer_idx)
+
+    def layer_views(self) -> list[LayerCacheView]:
+        """Views for all layers, in order."""
+        return [self.layer_view(i) for i in range(self.n_layers)]
+
+    def append(self, layer_idx: int, k: np.ndarray, v: np.ndarray) -> None:
+        self.caches[layer_idx].append(k, v, self.current_position)
+        self.stats.total_appended += 1
+
+    def attention_view(
+        self, layer_idx: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        cache = self.caches[layer_idx]
+        if self.positional_mode == "original":
+            key_positions = cache.retained_original_positions()
+            query_positions = np.asarray(self.current_position)
+        else:
+            key_positions = cache.renumbered_positions()
+            query_positions = np.asarray(cache.length - 1)
+        self._step_lengths.append(cache.length)
+        return cache.keys, cache.values, key_positions, query_positions
+
+    def observe(self, layer_idx: int, logits: np.ndarray, probs: np.ndarray) -> None:
+        cache = self.caches[layer_idx]
+        selection = self.policy.step_selection(
+            layer_idx,
+            logits,
+            probs,
+            cache.retained_original_positions(),
+            self.generation_step + 1,
+        )
+        if selection is None:
+            return
+        if getattr(self.policy, "shared_selection", False):
+            for idx in range(self.n_layers):
+                self._apply_selection(idx, selection)
+        else:
+            self._apply_selection(layer_idx, selection)
+
+    def advance(self) -> None:
+        """Mark the end of a decoding step (one token processed by all layers)."""
+        if self._step_lengths:
+            self.stats.record_step(self._step_lengths)
+            self._step_lengths = []
+        self.generation_step += 1
+        self.current_position += 1
+
+    def reorder(self, batch_indices: np.ndarray) -> None:
+        """Reorder the batch/beam dimension of every cache and of the policy state."""
+        for cache in self.caches:
+            cache.reorder(batch_indices)
+        self.policy.reorder(batch_indices)
+
+    # ------------------------------------------------------------------
+    def _apply_selection(self, layer_idx: int, selection: np.ndarray) -> None:
+        cache = self.caches[layer_idx]
+        evicted_before = cache.total_evicted
+        cache.gather(selection)
+        self.stats.total_evicted += cache.total_evicted - evicted_before
+
+    # ------------------------------------------------------------------
+    def cache_lengths(self) -> list[int]:
+        """Current per-layer cache lengths."""
+        return [cache.length for cache in self.caches]
+
+    def total_kv_bytes(self, dtype_bytes: int = 2) -> int:
+        """Current resident KV-cache size across all layers."""
+        return sum(cache.nbytes(dtype_bytes) for cache in self.caches)

@@ -1,0 +1,87 @@
+"""Cache occupancy and data-movement accounting.
+
+The statistics collected here feed the analytical performance model
+(:mod:`repro.perfmodel`): the number of KV entries read at every decoding
+step determines the KV-cache data movement that dominates generation latency
+in the paper's Figure 1/10 analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Aggregated statistics over one generation run."""
+
+    n_layers: int = 0
+    n_heads: int = 0
+    d_head: int = 0
+    batch_size: int = 0
+    prompt_len: int = 0
+    #: cache length (per layer, per step) observed when attending
+    lengths_per_step: list[list[int]] = field(default_factory=list)
+    total_appended: int = 0
+    total_evicted: int = 0
+
+    def record_step(self, lengths: list[int]) -> None:
+        """Record the per-layer cache length used at one decoding step."""
+        self.lengths_per_step.append(list(lengths))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_steps(self) -> int:
+        return len(self.lengths_per_step)
+
+    def mean_cache_length(self) -> float:
+        """Average number of cached tokens attended per layer per step."""
+        if not self.lengths_per_step:
+            return 0.0
+        return float(np.mean([np.mean(step) for step in self.lengths_per_step]))
+
+    def peak_cache_length(self) -> int:
+        """Largest per-layer cache length observed."""
+        if not self.lengths_per_step:
+            return 0
+        return int(max(max(step) for step in self.lengths_per_step))
+
+    def kv_entries_read(self) -> int:
+        """Total KV entries read across all layers and steps (per batch element)."""
+        return int(sum(sum(step) for step in self.lengths_per_step))
+
+    def kv_bytes_read(self, dtype_bytes: int = 2) -> int:
+        """Total bytes of KV data moved during generation (keys + values)."""
+        per_entry = 2 * self.n_heads * self.d_head * dtype_bytes
+        return self.kv_entries_read() * per_entry * max(self.batch_size, 1)
+
+    def peak_kv_bytes(self, dtype_bytes: int = 2) -> int:
+        """Peak resident KV-cache size in bytes across all layers."""
+        per_entry = 2 * self.n_heads * self.d_head * dtype_bytes
+        return (
+            self.peak_cache_length()
+            * per_entry
+            * self.n_layers
+            * max(self.batch_size, 1)
+        )
+
+    def eviction_rate(self) -> float:
+        """Fraction of appended tokens that were eventually evicted."""
+        if self.total_appended == 0:
+            return 0.0
+        return self.total_evicted / self.total_appended
+
+    def summary(self) -> dict:
+        """Dictionary summary for experiment reports."""
+        return {
+            "n_steps": self.n_steps,
+            "mean_cache_length": self.mean_cache_length(),
+            "peak_cache_length": self.peak_cache_length(),
+            "kv_entries_read": self.kv_entries_read(),
+            "kv_bytes_read_fp16": self.kv_bytes_read(2),
+            "eviction_rate": self.eviction_rate(),
+        }

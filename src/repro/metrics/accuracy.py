@@ -1,0 +1,40 @@
+"""Multiple-choice accuracy (the lm-eval-harness protocol used in Table 2)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["multiple_choice_accuracy", "pick_option"]
+
+
+def pick_option(option_log_likelihoods: Sequence[float], normalize_by_length: Sequence[int] | None = None) -> int:
+    """Index of the best-scoring option.
+
+    When ``normalize_by_length`` is provided the log-likelihoods are divided
+    by the option token counts (length-normalized scoring, as lm-eval-harness
+    does for its ``acc_norm`` metric).
+    """
+    scores = np.asarray(option_log_likelihoods, dtype=np.float64)
+    if scores.size == 0:
+        raise ValueError("need at least one option")
+    if normalize_by_length is not None:
+        lengths = np.asarray(normalize_by_length, dtype=np.float64)
+        if lengths.shape != scores.shape:
+            raise ValueError("lengths must align with option scores")
+        scores = scores / np.maximum(lengths, 1.0)
+    return int(np.argmax(scores))
+
+
+def multiple_choice_accuracy(
+    predictions: Sequence[int], answers: Sequence[int]
+) -> float:
+    """Percentage of items where the predicted option matches the answer."""
+    predictions = np.asarray(predictions)
+    answers = np.asarray(answers)
+    if predictions.shape != answers.shape:
+        raise ValueError("predictions and answers must align")
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of zero items")
+    return float(100.0 * np.mean(predictions == answers))

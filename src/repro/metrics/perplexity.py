@@ -1,0 +1,41 @@
+"""Perplexity metrics."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.models.tensor_ops import log_softmax
+
+__all__ = ["sequence_perplexity", "corpus_perplexity"]
+
+
+def sequence_perplexity(logits: np.ndarray, targets: Sequence[int]) -> float:
+    """Perplexity of one sequence given per-position logits ``(T, vocab)``.
+
+    ``targets[t]`` is the token that should follow position ``t``; positions
+    with target ``-100`` are ignored.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets)
+    if logits.ndim != 2 or logits.shape[0] != targets.shape[0]:
+        raise ValueError("logits must be (T, vocab) aligned with targets")
+    mask = targets != -100
+    if not mask.any():
+        raise ValueError("no valid targets")
+    logp = log_softmax(logits, axis=-1)
+    picked = logp[np.arange(len(targets))[mask], targets[mask]]
+    return float(np.exp(-picked.mean()))
+
+
+def corpus_perplexity(log_likelihoods: Iterable[float], token_counts: Iterable[int]) -> float:
+    """Corpus-level perplexity from per-sequence log-likelihoods and token counts."""
+    lls = np.asarray(list(log_likelihoods), dtype=np.float64)
+    counts = np.asarray(list(token_counts), dtype=np.float64)
+    if lls.shape != counts.shape or lls.size == 0:
+        raise ValueError("log_likelihoods and token_counts must be equal-length and non-empty")
+    total_tokens = counts.sum()
+    if total_tokens <= 0:
+        raise ValueError("token_counts must sum to a positive value")
+    return float(np.exp(-lls.sum() / total_tokens))

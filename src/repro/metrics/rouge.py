@@ -1,0 +1,117 @@
+"""ROUGE-1 / ROUGE-2 / ROUGE-L implemented from scratch.
+
+The paper reports ROUGE F-measures for its summarization/conversation tasks
+and requires that reduced-cache configurations stay within 99 % of the
+full-attention scores (MLPerf criterion).  This module implements the
+standard n-gram overlap (ROUGE-N) and longest-common-subsequence (ROUGE-L)
+F1 scores over whitespace tokens.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["RougeScore", "rouge_n", "rouge_l", "rouge_all", "aggregate_rouge"]
+
+
+@dataclass(frozen=True)
+class RougeScore:
+    """Precision / recall / F1 triple for one ROUGE variant."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    @classmethod
+    def zero(cls) -> "RougeScore":
+        return cls(0.0, 0.0, 0.0)
+
+    @classmethod
+    def from_counts(cls, overlap: float, candidate_total: float, reference_total: float) -> "RougeScore":
+        precision = overlap / candidate_total if candidate_total > 0 else 0.0
+        recall = overlap / reference_total if reference_total > 0 else 0.0
+        if precision + recall == 0:
+            return cls(precision, recall, 0.0)
+        f1 = 2 * precision * recall / (precision + recall)
+        return cls(precision, recall, f1)
+
+
+def _tokenize(text: str) -> list[str]:
+    return text.lower().split()
+
+
+def _ngrams(tokens: Sequence[str], n: int) -> Counter:
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return Counter(tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1))
+
+
+def rouge_n(candidate: str, reference: str, n: int = 1) -> RougeScore:
+    """ROUGE-N F-measure between a candidate and a reference text."""
+    cand_tokens = _tokenize(candidate)
+    ref_tokens = _tokenize(reference)
+    cand_ngrams = _ngrams(cand_tokens, n)
+    ref_ngrams = _ngrams(ref_tokens, n)
+    if not cand_ngrams or not ref_ngrams:
+        return RougeScore.zero()
+    overlap = sum(min(count, ref_ngrams[gram]) for gram, count in cand_ngrams.items())
+    return RougeScore.from_counts(
+        overlap, sum(cand_ngrams.values()), sum(ref_ngrams.values())
+    )
+
+
+def _lcs_length(a: Sequence[str], b: Sequence[str]) -> int:
+    """Length of the longest common subsequence (O(len(a)·len(b)) DP)."""
+    if not a or not b:
+        return 0
+    prev = np.zeros(len(b) + 1, dtype=np.int64)
+    for token_a in a:
+        current = np.zeros(len(b) + 1, dtype=np.int64)
+        for j, token_b in enumerate(b, start=1):
+            if token_a == token_b:
+                current[j] = prev[j - 1] + 1
+            else:
+                current[j] = max(prev[j], current[j - 1])
+        prev = current
+    return int(prev[-1])
+
+
+def rouge_l(candidate: str, reference: str) -> RougeScore:
+    """ROUGE-L F-measure based on the longest common subsequence."""
+    cand_tokens = _tokenize(candidate)
+    ref_tokens = _tokenize(reference)
+    if not cand_tokens or not ref_tokens:
+        return RougeScore.zero()
+    lcs = _lcs_length(cand_tokens, ref_tokens)
+    return RougeScore.from_counts(lcs, len(cand_tokens), len(ref_tokens))
+
+
+def rouge_all(candidate: str, reference: str) -> dict[str, RougeScore]:
+    """ROUGE-1, ROUGE-2 and ROUGE-L for one candidate/reference pair."""
+    return {
+        "rouge1": rouge_n(candidate, reference, 1),
+        "rouge2": rouge_n(candidate, reference, 2),
+        "rougeL": rouge_l(candidate, reference),
+    }
+
+
+def aggregate_rouge(
+    candidates: Iterable[str], references: Iterable[str]
+) -> dict[str, float]:
+    """Mean ROUGE F1 scores (×100, like the paper's tables) over a corpus."""
+    candidates = list(candidates)
+    references = list(references)
+    if len(candidates) != len(references):
+        raise ValueError("candidates and references must have the same length")
+    if not candidates:
+        raise ValueError("cannot aggregate an empty corpus")
+    sums = {"rouge1": 0.0, "rouge2": 0.0, "rougeL": 0.0}
+    for cand, ref in zip(candidates, references):
+        scores = rouge_all(cand, ref)
+        for key in sums:
+            sums[key] += scores[key].f1
+    return {key: 100.0 * value / len(candidates) for key, value in sums.items()}

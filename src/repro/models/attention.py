@@ -1,0 +1,240 @@
+"""Multi-head causal self-attention with training and incremental decode paths.
+
+The training path (:meth:`MultiHeadAttention.forward` / ``backward``) operates
+on full sequences and supports manual backpropagation.  The decode path is
+split into three stateless steps (``project_step``, ``attend_step`` and the
+output projection inside ``attend_step``) so that the KV-cache manager in
+:mod:`repro.kvcache` can interpose between the key/value projection and the
+actual attention computation — that is exactly where Keyformer and the
+baseline policies observe attention logits and evict tokens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import tensor_ops as ops
+from repro.models.config import ModelConfig
+from repro.models.layers import Linear, Module
+from repro.models.positional import (
+    alibi_bias_matrix,
+    alibi_bias_step,
+    rope_rotate,
+    rope_rotate_backward,
+)
+
+__all__ = ["MultiHeadAttention"]
+
+
+class MultiHeadAttention(Module):
+    """Causal multi-head self-attention supporting RoPE, ALiBi or no bias."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.n_heads = config.n_heads
+        self.d_head = config.d_head
+        self.d_model = config.d_model
+        self.positional = config.positional
+        self.rope_dims = config.rope_dims if config.positional == "rope" else 0
+
+        self.w_q = Linear(config.d_model, config.d_model, rng, config.init_std)
+        self.w_k = Linear(config.d_model, config.d_model, rng, config.init_std)
+        self.w_v = Linear(config.d_model, config.d_model, rng, config.init_std)
+        self.w_o = Linear(config.d_model, config.d_model, rng, config.init_std)
+
+        self._cache: dict | None = None
+        #: Post-softmax attention probabilities of the last ``forward`` call
+        #: with ``store_attention=True`` — shape ``(B, H, T, T)``.
+        self.last_attention: np.ndarray | None = None
+        #: Masked unnormalized logits of the same call (``-inf`` above the
+        #: causal diagonal); consumed by Keyformer's prompt-phase score.
+        self.last_scores: np.ndarray | None = None
+        #: Unrotated keys and values of the same call, used to seed the KV
+        #: cache after prompt processing — each of shape ``(B, H, T, d_head)``.
+        self.last_kv: tuple[np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, T, D) -> (B, H, T, d_head)."""
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.n_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, H, T, d_head) -> (B, T, D)."""
+        b, h, t, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, t, h * d)
+
+    # ------------------------------------------------------------------
+    # training path
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        x: np.ndarray,
+        positions: np.ndarray | None = None,
+        store_attention: bool = False,
+    ) -> np.ndarray:
+        """Full-sequence causal attention.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(batch, seq, d_model)``.
+        positions:
+            Optional per-token positions of shape ``(seq,)`` or
+            ``(batch, seq)``; defaults to ``arange(seq)``.
+        store_attention:
+            When true, the post-softmax attention probabilities are kept in
+            :attr:`last_attention` for analysis (Figure 3 / 14 / 15).
+        """
+        b, t, _ = x.shape
+        if positions is None:
+            positions = np.arange(t)
+        positions = np.asarray(positions)
+
+        q = self._split_heads(self.w_q(x))
+        k_raw = self._split_heads(self.w_k(x))
+        v = self._split_heads(self.w_v(x))
+
+        if self.positional == "rope":
+            pos_bh = positions if positions.ndim == 1 else positions[:, None, :]
+            q_rot = rope_rotate(q, pos_bh, self.rope_dims)
+            k_rot = rope_rotate(k_raw, pos_bh, self.rope_dims)
+        else:
+            q_rot, k_rot = q, k_raw
+
+        scale = 1.0 / np.sqrt(self.d_head)
+        scores = np.einsum("bhqd,bhkd->bhqk", q_rot, k_rot) * scale
+
+        if self.positional == "alibi":
+            scores = scores + alibi_bias_matrix(self.n_heads, t)[None]
+
+        causal_mask = np.triu(np.ones((t, t), dtype=bool), k=1)
+        scores = np.where(causal_mask[None, None], -np.inf, scores)
+
+        attn = ops.softmax(scores, axis=-1)
+        if store_attention:
+            self.last_attention = attn
+            self.last_scores = scores
+            self.last_kv = (k_raw, v)
+
+        ctx = np.einsum("bhqk,bhkd->bhqd", attn, v)
+        out = self.w_o(self._merge_heads(ctx))
+
+        self._cache = {
+            "q_rot": q_rot,
+            "k_rot": k_rot,
+            "v": v,
+            "attn": attn,
+            "positions": positions,
+            "scale": scale,
+        }
+        return out
+
+    def __call__(self, x: np.ndarray, **kwargs) -> np.ndarray:
+        return self.forward(x, **kwargs)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Backward pass of :meth:`forward`; returns gradient w.r.t. the input."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cache = self._cache
+        q_rot, k_rot, v = cache["q_rot"], cache["k_rot"], cache["v"]
+        attn, positions, scale = cache["attn"], cache["positions"], cache["scale"]
+
+        dctx_merged = self.w_o.backward(dout)
+        b, t, _ = dctx_merged.shape
+        dctx = self._split_heads(dctx_merged)
+
+        dattn = np.einsum("bhqd,bhkd->bhqk", dctx, v)
+        dv = np.einsum("bhqk,bhqd->bhkd", attn, dctx)
+
+        dscores = ops.softmax_backward(dattn, attn, axis=-1)
+
+        dq_rot = np.einsum("bhqk,bhkd->bhqd", dscores, k_rot) * scale
+        dk_rot = np.einsum("bhqk,bhqd->bhkd", dscores, q_rot) * scale
+
+        if self.positional == "rope":
+            pos_bh = positions if positions.ndim == 1 else positions[:, None, :]
+            dq = rope_rotate_backward(dq_rot, pos_bh, self.rope_dims)
+            dk = rope_rotate_backward(dk_rot, pos_bh, self.rope_dims)
+        else:
+            dq, dk = dq_rot, dk_rot
+
+        dx_q = self.w_q.backward(self._merge_heads(dq))
+        dx_k = self.w_k.backward(self._merge_heads(dk))
+        dx_v = self.w_v.backward(self._merge_heads(dv))
+        return dx_q + dx_k + dx_v
+
+    # ------------------------------------------------------------------
+    # incremental decode path
+    # ------------------------------------------------------------------
+    def project_qkv(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project a batch of single-token hidden states to per-head q/k/v.
+
+        ``x`` has shape ``(batch, d_model)``; each output has shape
+        ``(batch, n_heads, d_head)``.  Keys are returned **unrotated** — the
+        cache stores raw keys so that both the original-position and
+        renumbered-position RoPE/ALiBi modes can be evaluated later.
+        """
+        if x.ndim != 2:
+            raise ValueError(f"expected (batch, d_model) input, got shape {x.shape}")
+        b = x.shape[0]
+        q = self.w_q(x).reshape(b, self.n_heads, self.d_head)
+        k = self.w_k(x).reshape(b, self.n_heads, self.d_head)
+        v = self.w_v(x).reshape(b, self.n_heads, self.d_head)
+        return q, k, v
+
+    def attend_step(
+        self,
+        q: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        query_positions: np.ndarray | int,
+        key_positions: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Attend a single query token over cached keys/values.
+
+        Parameters
+        ----------
+        q:
+            Query of shape ``(batch, n_heads, d_head)`` (unrotated).
+        keys, values:
+            Cached tensors of shape ``(batch, n_heads, L, d_head)``; keys are
+            unrotated.
+        query_positions:
+            Position index of the query token (scalar or ``(batch,)``).
+        key_positions:
+            Positions of the cached keys, shape ``(batch, n_heads, L)``.
+
+        Returns
+        -------
+        ``(output, logits, probs)`` where ``output`` has shape
+        ``(batch, d_model)``, and ``logits`` / ``probs`` have shape
+        ``(batch, n_heads, L)``.  ``logits`` are the *unnormalized* scaled
+        dot-product values (the :math:`x_i` of Eq. 4 in the paper), which the
+        Keyformer score function perturbs with Gumbel noise.
+        """
+        b = q.shape[0]
+        query_positions = np.asarray(query_positions)
+
+        if self.positional == "rope":
+            q_pos = query_positions if query_positions.ndim else query_positions[None]
+            q_pos = np.broadcast_to(q_pos, (b,))
+            q_rot = rope_rotate(q, q_pos[:, None], self.rope_dims)
+            k_rot = rope_rotate(keys, key_positions, self.rope_dims)
+        else:
+            q_rot, k_rot = q, keys
+
+        scale = 1.0 / np.sqrt(self.d_head)
+        logits = np.einsum("bhd,bhld->bhl", q_rot, k_rot) * scale
+
+        if self.positional == "alibi":
+            logits = logits + alibi_bias_step(self.n_heads, query_positions, key_positions)
+
+        probs = ops.softmax(logits, axis=-1)
+        ctx = np.einsum("bhl,bhld->bhd", probs, values)
+        out = self.w_o(ctx.reshape(b, self.d_model))
+        return out, logits, probs

@@ -1,0 +1,90 @@
+"""Pre-LayerNorm decoder block used by :class:`repro.models.transformer.DecoderLM`."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.models.attention import MultiHeadAttention
+from repro.models.config import ModelConfig
+from repro.models.layers import LayerNorm, Module
+from repro.models.mlp import MLP
+
+__all__ = ["DecoderBlock", "LayerDecodeCache"]
+
+
+class LayerDecodeCache(Protocol):
+    """Interface a per-layer KV cache must implement for incremental decoding.
+
+    The concrete implementation lives in :mod:`repro.kvcache`; decoder blocks
+    only rely on this protocol so the model substrate stays independent of the
+    eviction policies layered on top of it.
+    """
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Store the key/value of the newly produced token."""
+
+    def attention_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(keys, values, key_positions, query_positions)``."""
+
+    def observe(self, logits: np.ndarray, probs: np.ndarray) -> None:
+        """Feed attention logits/probabilities to the eviction policy."""
+
+
+class DecoderBlock(Module):
+    """Pre-LN transformer decoder block: attention + feed-forward residuals."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator):
+        super().__init__()
+        self.ln_attn = LayerNorm(config.d_model, eps=config.layer_norm_eps)
+        self.attn = MultiHeadAttention(config, rng)
+        self.ln_mlp = LayerNorm(config.d_model, eps=config.layer_norm_eps)
+        self.mlp = MLP(config, rng)
+
+    # ------------------------------------------------------------------
+    # training path
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        x: np.ndarray,
+        positions: np.ndarray | None = None,
+        store_attention: bool = False,
+    ) -> np.ndarray:
+        """Full-sequence forward pass: ``x + attn(ln(x))`` then ``x + mlp(ln(x))``."""
+        attn_out = self.attn(self.ln_attn(x), positions=positions, store_attention=store_attention)
+        x = x + attn_out
+        mlp_out = self.mlp(self.ln_mlp(x))
+        return x + mlp_out
+
+    def __call__(self, x: np.ndarray, **kwargs) -> np.ndarray:
+        return self.forward(x, **kwargs)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Backward pass through both residual branches."""
+        dmlp_in = self.mlp.backward(dout)
+        dx = dout + self.ln_mlp.backward(dmlp_in)
+        dattn_in = self.attn.backward(dx)
+        return dx + self.ln_attn.backward(dattn_in)
+
+    # ------------------------------------------------------------------
+    # incremental decode path
+    # ------------------------------------------------------------------
+    def decode_step(self, x: np.ndarray, layer_cache: LayerDecodeCache) -> np.ndarray:
+        """Process one token through the block using a per-layer KV cache.
+
+        ``x`` has shape ``(batch, d_model)``.  The cache appends the new
+        key/value, exposes the retained keys/values with their positions, and
+        observes the attention logits/probabilities so its eviction policy
+        (Keyformer, H2O, window, ...) can update token scores and evict.
+        """
+        a_in = self.ln_attn(x)
+        q, k, v = self.attn.project_qkv(a_in)
+        layer_cache.append(k, v)
+        keys, values, key_positions, query_positions = layer_cache.attention_view()
+        attn_out, logits, probs = self.attn.attend_step(
+            q, keys, values, query_positions, key_positions
+        )
+        layer_cache.observe(logits, probs)
+        x = x + attn_out
+        return x + self.mlp(self.ln_mlp(x))

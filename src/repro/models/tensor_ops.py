@@ -1,0 +1,163 @@
+"""Numerically stable tensor primitives with explicit gradients.
+
+All functions operate on NumPy arrays and are written in vectorized form.  The
+backward functions implement the exact analytical gradients and are verified
+against finite differences in ``tests/models/test_tensor_ops.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "softmax_backward",
+    "gelu",
+    "gelu_backward",
+    "layer_norm",
+    "layer_norm_backward",
+    "cross_entropy",
+    "one_hot",
+]
+
+# Coefficient of the tanh GeLU approximation (same as GPT-2 / GPT-J).
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``.
+
+    Rows that are entirely ``-inf`` (fully masked) produce all-zero outputs
+    rather than NaNs, which is convenient for causal attention masks.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    x_max = np.max(x, axis=axis, keepdims=True)
+    # Fully-masked rows have max == -inf; shift them to zero to avoid NaN.
+    x_max = np.where(np.isfinite(x_max), x_max, 0.0)
+    e = np.exp(x - x_max)
+    denom = np.sum(e, axis=axis, keepdims=True)
+    denom = np.where(denom == 0.0, 1.0, denom)
+    return e / denom
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    x_max = np.max(x, axis=axis, keepdims=True)
+    x_max = np.where(np.isfinite(x_max), x_max, 0.0)
+    shifted = x - x_max
+    log_denom = np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+    return shifted - log_denom
+
+
+def softmax_backward(dprobs: np.ndarray, probs: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Gradient of softmax given upstream gradient ``dprobs`` and output ``probs``."""
+    inner = np.sum(dprobs * probs, axis=axis, keepdims=True)
+    return probs * (dprobs - inner)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximated Gaussian Error Linear Unit."""
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * x**3)))
+
+
+def gelu_backward(dout: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Gradient of the tanh-approximated GeLU with respect to its input."""
+    x = np.asarray(x, dtype=np.float64)
+    u = _GELU_C * (x + 0.044715 * x**3)
+    tanh_u = np.tanh(u)
+    du_dx = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+    dgelu = 0.5 * (1.0 + tanh_u) + 0.5 * x * (1.0 - tanh_u**2) * du_dx
+    return dout * dgelu
+
+
+def layer_norm(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5
+) -> tuple[np.ndarray, dict]:
+    """Layer normalization over the last dimension.
+
+    Returns the normalized output and a cache consumed by
+    :func:`layer_norm_backward`.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean) * inv_std
+    out = gamma * x_hat + beta
+    cache = {"x_hat": x_hat, "inv_std": inv_std, "gamma": gamma}
+    return out, cache
+
+
+def layer_norm_backward(
+    dout: np.ndarray, cache: dict
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of :func:`layer_norm`.
+
+    Returns ``(dx, dgamma, dbeta)``.  ``dgamma`` and ``dbeta`` are summed over
+    all leading dimensions.
+    """
+    x_hat = cache["x_hat"]
+    inv_std = cache["inv_std"]
+    gamma = cache["gamma"]
+    d = x_hat.shape[-1]
+
+    reduce_axes = tuple(range(dout.ndim - 1))
+    dgamma = np.sum(dout * x_hat, axis=reduce_axes)
+    dbeta = np.sum(dout, axis=reduce_axes)
+
+    dx_hat = dout * gamma
+    dx = (
+        inv_std
+        / d
+        * (
+            d * dx_hat
+            - np.sum(dx_hat, axis=-1, keepdims=True)
+            - x_hat * np.sum(dx_hat * x_hat, axis=-1, keepdims=True)
+        )
+    )
+    return dx, dgamma, dbeta
+
+
+def cross_entropy(
+    logits: np.ndarray, targets: np.ndarray, ignore_index: int = -100
+) -> tuple[float, np.ndarray]:
+    """Mean token-level cross entropy and its gradient w.r.t. ``logits``.
+
+    Parameters
+    ----------
+    logits:
+        Array of shape ``(N, vocab)``.
+    targets:
+        Integer array of shape ``(N,)``.  Positions equal to ``ignore_index``
+        contribute neither to the loss nor to the gradient.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D (N, vocab), got shape {logits.shape}")
+    if targets.shape[0] != logits.shape[0]:
+        raise ValueError("targets length must match logits rows")
+
+    mask = targets != ignore_index
+    n_valid = int(mask.sum())
+    logp = log_softmax(logits, axis=-1)
+    safe_targets = np.where(mask, targets, 0)
+    picked = logp[np.arange(logits.shape[0]), safe_targets]
+    loss = -float(np.sum(picked * mask)) / max(n_valid, 1)
+
+    probs = np.exp(logp)
+    dlogits = probs
+    dlogits[np.arange(logits.shape[0]), safe_targets] -= 1.0
+    dlogits *= mask[:, None] / max(n_valid, 1)
+    return loss, dlogits
+
+
+def one_hot(indices: np.ndarray, depth: int) -> np.ndarray:
+    """One-hot encode an integer array to ``(..., depth)``."""
+    indices = np.asarray(indices)
+    out = np.zeros(indices.shape + (depth,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out

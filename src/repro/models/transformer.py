@@ -1,0 +1,194 @@
+"""Decoder-only language model built from the NumPy substrate layers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.models import tensor_ops as ops
+from repro.models.block import DecoderBlock, LayerDecodeCache
+from repro.models.config import ModelConfig
+from repro.models.layers import Embedding, LayerNorm, Linear, Module
+
+__all__ = ["DecoderLM"]
+
+
+class DecoderLM(Module):
+    """Autoregressive decoder-only transformer language model.
+
+    The model supports three positional-encoding families via
+    :class:`ModelConfig.positional`:
+
+    * ``"rope"`` — rotary embeddings applied inside attention (GPT-J family);
+    * ``"alibi"`` — linear attention biases (MPT family);
+    * ``"learned"`` — absolute position embeddings added to token embeddings
+      (Cerebras-GPT family).
+
+    Two execution paths are provided:
+
+    * :meth:`forward` / :meth:`backward` / :meth:`loss` — full-sequence
+      training (and prompt processing);
+    * :meth:`embed_step` + :meth:`DecoderBlock.decode_step` +
+      :meth:`lm_logits` — incremental decoding with a pluggable KV cache.
+    """
+
+    def __init__(self, config: ModelConfig, seed: int = 0):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(seed)
+
+        self.token_embedding = Embedding(config.vocab_size, config.d_model, rng, config.init_std)
+        self.position_embedding: Embedding | None = None
+        if config.positional == "learned":
+            self.position_embedding = Embedding(
+                config.max_seq_len, config.d_model, rng, config.init_std
+            )
+        self.blocks = [DecoderBlock(config, rng) for _ in range(config.n_layers)]
+        self.ln_final = LayerNorm(config.d_model, eps=config.layer_norm_eps)
+        self.lm_head: Linear | None = None
+        if not config.tie_embeddings:
+            self.lm_head = Linear(config.d_model, config.vocab_size, rng, config.init_std)
+
+        self._final_hidden: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # embedding / head helpers
+    # ------------------------------------------------------------------
+    def embed(self, token_ids: np.ndarray, positions: np.ndarray | None = None) -> np.ndarray:
+        """Embed a batch of token sequences: ``(B, T)`` -> ``(B, T, d_model)``."""
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        h = self.token_embedding(token_ids)
+        if self.position_embedding is not None:
+            if positions is None:
+                positions = np.arange(token_ids.shape[1])
+            h = h + self.position_embedding(np.asarray(positions))
+        return h
+
+    def embed_step(self, token_ids: np.ndarray, positions: np.ndarray | int) -> np.ndarray:
+        """Embed a single decoding step: ``(B,)`` token ids -> ``(B, d_model)``."""
+        token_ids = np.asarray(token_ids).reshape(-1)
+        h = self.token_embedding(token_ids)
+        if self.position_embedding is not None:
+            pos = np.asarray(positions).reshape(-1)
+            pos = np.broadcast_to(pos, token_ids.shape)
+            pos = np.minimum(pos, self.config.max_seq_len - 1)
+            h = h + self.position_embedding(pos)
+        return h
+
+    def lm_logits(self, hidden: np.ndarray) -> np.ndarray:
+        """Project hidden states to vocabulary logits."""
+        if self.lm_head is not None:
+            return self.lm_head(hidden)
+        return hidden @ self.token_embedding.params["weight"].T
+
+    # ------------------------------------------------------------------
+    # training / prompt processing path
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        positions: np.ndarray | None = None,
+        store_attention: bool = False,
+    ) -> np.ndarray:
+        """Full-sequence forward pass returning logits ``(B, T, vocab)``.
+
+        When ``store_attention`` is true every attention layer keeps its
+        post-softmax probabilities in ``block.attn.last_attention`` for
+        analysis and for prompt-phase score accumulation.
+        """
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        if token_ids.shape[1] > self.config.max_seq_len and self.config.positional == "learned":
+            raise ValueError(
+                f"sequence length {token_ids.shape[1]} exceeds max_seq_len "
+                f"{self.config.max_seq_len} for learned positional embeddings"
+            )
+        h = self.embed(token_ids, positions=positions)
+        for block in self.blocks:
+            h = block(h, positions=positions, store_attention=store_attention)
+        h = self.ln_final(h)
+        self._final_hidden = h
+        return self.lm_logits(h)
+
+    def __call__(self, token_ids: np.ndarray, **kwargs) -> np.ndarray:
+        return self.forward(token_ids, **kwargs)
+
+    def loss(
+        self, token_ids: np.ndarray, targets: np.ndarray, ignore_index: int = -100
+    ) -> tuple[float, np.ndarray]:
+        """Compute mean cross-entropy and the gradient w.r.t. the logits.
+
+        ``targets`` must have the same shape as ``token_ids``; positions equal
+        to ``ignore_index`` are excluded from the loss (used to mask prompt
+        tokens when only the summary/response should be learned).
+        """
+        logits = self.forward(token_ids)
+        b, t, v = logits.shape
+        loss, dlogits = ops.cross_entropy(
+            logits.reshape(b * t, v), np.asarray(targets).reshape(b * t), ignore_index
+        )
+        return loss, dlogits.reshape(b, t, v)
+
+    def backward(self, dlogits: np.ndarray) -> None:
+        """Backpropagate from the vocabulary logits through the whole model."""
+        if self._final_hidden is None:
+            raise RuntimeError("backward called before forward")
+        if self.lm_head is not None:
+            dh = self.lm_head.backward(dlogits)
+        else:
+            weight = self.token_embedding.params["weight"]
+            b, t, v = dlogits.shape
+            dh = dlogits @ weight
+            dweight = dlogits.reshape(b * t, v).T @ self._final_hidden.reshape(b * t, -1)
+            self.token_embedding.grads["weight"] += dweight
+        dh = self.ln_final.backward(dh)
+        for block in reversed(self.blocks):
+            dh = block.backward(dh)
+        if self.position_embedding is not None:
+            # The positional embedding was broadcast-added over the batch, so
+            # its gradient is the sum of dh over the batch dimension.
+            self.position_embedding.backward(dh.sum(axis=0))
+        self.token_embedding.backward(dh)
+
+    def train_step_gradients(
+        self, token_ids: np.ndarray, targets: np.ndarray, ignore_index: int = -100
+    ) -> float:
+        """Convenience wrapper: zero grads, forward, loss, backward; return loss."""
+        self.zero_grad()
+        loss, dlogits = self.loss(token_ids, targets, ignore_index=ignore_index)
+        self.backward(dlogits)
+        return loss
+
+    # ------------------------------------------------------------------
+    # incremental decode path
+    # ------------------------------------------------------------------
+    def decode_step(
+        self, token_ids: np.ndarray, positions: np.ndarray | int, layer_caches: Sequence[LayerDecodeCache]
+    ) -> np.ndarray:
+        """Run one decoding step through all layers using per-layer caches.
+
+        Returns the vocabulary logits for the new token, shape ``(B, vocab)``.
+        """
+        if len(layer_caches) != len(self.blocks):
+            raise ValueError(
+                f"expected {len(self.blocks)} layer caches, got {len(layer_caches)}"
+            )
+        h = self.embed_step(token_ids, positions)
+        for block, cache in zip(self.blocks, layer_caches):
+            h = block.decode_step(h, cache)
+        h = self.ln_final(h)
+        return self.lm_logits(h)
+
+    def collect_attention(self) -> list[np.ndarray]:
+        """Return the stored attention maps of every layer (after a forward with
+        ``store_attention=True``)."""
+        maps = []
+        for block in self.blocks:
+            if block.attn.last_attention is None:
+                raise RuntimeError("forward(store_attention=True) has not been run")
+            maps.append(block.attn.last_attention)
+        return maps

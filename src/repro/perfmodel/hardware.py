@@ -1,0 +1,77 @@
+"""Hardware specifications for the roofline performance model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HardwareSpec", "A100_80GB", "A100_40GB"]
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """An accelerator described by the quantities the roofline model needs.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    hbm_bandwidth_gbps:
+        Peak HBM bandwidth in GB/s.
+    peak_fp16_tflops:
+        Peak dense fp16 tensor throughput in TFLOP/s.
+    hbm_capacity_gb:
+        HBM capacity in GB.
+    memory_efficiency:
+        Achievable fraction of peak bandwidth for streaming reads (0–1).
+    compute_efficiency:
+        Achievable fraction of peak FLOP/s for the small GEMV-like kernels of
+        token generation (0–1).
+    kernel_launch_overhead_s:
+        Fixed per-decoder-step overhead (kernel launches, Python dispatch).
+    """
+
+    name: str
+    hbm_bandwidth_gbps: float
+    peak_fp16_tflops: float
+    hbm_capacity_gb: float
+    memory_efficiency: float = 0.8
+    compute_efficiency: float = 0.5
+    kernel_launch_overhead_s: float = 2.0e-4
+
+    def __post_init__(self) -> None:
+        if self.hbm_bandwidth_gbps <= 0 or self.peak_fp16_tflops <= 0:
+            raise ValueError("bandwidth and peak FLOP/s must be positive")
+        if not (0 < self.memory_efficiency <= 1 and 0 < self.compute_efficiency <= 1):
+            raise ValueError("efficiencies must be in (0, 1]")
+
+    @property
+    def effective_bandwidth_bytes(self) -> float:
+        """Achievable bandwidth in bytes/s."""
+        return self.hbm_bandwidth_gbps * 1e9 * self.memory_efficiency
+
+    @property
+    def effective_flops(self) -> float:
+        """Achievable FLOP/s."""
+        return self.peak_fp16_tflops * 1e12 * self.compute_efficiency
+
+    @property
+    def capacity_bytes(self) -> float:
+        """HBM capacity in bytes."""
+        return self.hbm_capacity_gb * 1e9
+
+
+#: NVIDIA A100 (80 GB, SXM) — the device used in the paper's evaluation.
+A100_80GB = HardwareSpec(
+    name="NVIDIA A100 80GB",
+    hbm_bandwidth_gbps=2039.0,
+    peak_fp16_tflops=312.0,
+    hbm_capacity_gb=80.0,
+)
+
+#: 40 GB variant, useful for ablating the OOM crossover point.
+A100_40GB = HardwareSpec(
+    name="NVIDIA A100 40GB",
+    hbm_bandwidth_gbps=1555.0,
+    peak_fp16_tflops=312.0,
+    hbm_capacity_gb=40.0,
+)

@@ -1,0 +1,7 @@
+"""Tokenization substrate: vocabulary, word-level and BPE tokenizers."""
+
+from repro.tokenizer.vocab import Vocabulary, SpecialTokens
+from repro.tokenizer.word import WordTokenizer
+from repro.tokenizer.bpe import BPETokenizer
+
+__all__ = ["Vocabulary", "SpecialTokens", "WordTokenizer", "BPETokenizer"]

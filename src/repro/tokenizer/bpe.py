@@ -1,0 +1,112 @@
+"""Minimal byte-pair-encoding tokenizer.
+
+Included for completeness of the substrate (real LLM tokenizers are subword
+tokenizers); the evaluation pipelines use :class:`~repro.tokenizer.word.WordTokenizer`
+because the synthetic corpora have closed vocabularies, but the BPE tokenizer
+is fully functional and tested.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.tokenizer.vocab import Vocabulary
+from repro.tokenizer.word import WordTokenizer
+
+__all__ = ["BPETokenizer"]
+
+_END_OF_WORD = "</w>"
+
+
+class BPETokenizer:
+    """Byte-pair encoding trained on a corpus of raw text."""
+
+    def __init__(self, vocab: Vocabulary, merges: list[tuple[str, str]]):
+        self.vocab = vocab
+        self.merges = merges
+        self._merge_ranks = {pair: i for i, pair in enumerate(merges)}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def train(cls, texts: Iterable[str], n_merges: int = 200) -> "BPETokenizer":
+        """Learn up to ``n_merges`` merge rules from ``texts``."""
+        word_counts: Counter[tuple[str, ...]] = Counter()
+        for text in texts:
+            for word in WordTokenizer.word_split(text):
+                symbols = tuple(list(word) + [_END_OF_WORD])
+                word_counts[symbols] += 1
+
+        merges: list[tuple[str, str]] = []
+        for _ in range(n_merges):
+            pair_counts: Counter[tuple[str, str]] = Counter()
+            for symbols, count in word_counts.items():
+                for a, b in zip(symbols, symbols[1:]):
+                    pair_counts[(a, b)] += count
+            if not pair_counts:
+                break
+            best_pair, best_count = max(
+                pair_counts.items(), key=lambda kv: (kv[1], kv[0])
+            )
+            if best_count < 2:
+                break
+            merges.append(best_pair)
+            merged_symbol = "".join(best_pair)
+            new_counts: Counter[tuple[str, ...]] = Counter()
+            for symbols, count in word_counts.items():
+                new_symbols: list[str] = []
+                i = 0
+                while i < len(symbols):
+                    if (
+                        i + 1 < len(symbols)
+                        and (symbols[i], symbols[i + 1]) == best_pair
+                    ):
+                        new_symbols.append(merged_symbol)
+                        i += 2
+                    else:
+                        new_symbols.append(symbols[i])
+                        i += 1
+                new_counts[tuple(new_symbols)] += count
+            word_counts = new_counts
+
+        symbols_seen: set[str] = set()
+        for symbols in word_counts:
+            symbols_seen.update(symbols)
+        vocab = Vocabulary(sorted(symbols_seen))
+        return cls(vocab, merges)
+
+    # ------------------------------------------------------------------
+    def _encode_word(self, word: str) -> list[str]:
+        symbols = list(word) + [_END_OF_WORD]
+        while len(symbols) > 1:
+            pairs = [(symbols[i], symbols[i + 1]) for i in range(len(symbols) - 1)]
+            ranked = [
+                (self._merge_ranks[p], i)
+                for i, p in enumerate(pairs)
+                if p in self._merge_ranks
+            ]
+            if not ranked:
+                break
+            _, idx = min(ranked)
+            symbols = (
+                symbols[:idx] + ["".join((symbols[idx], symbols[idx + 1]))] + symbols[idx + 2:]
+            )
+        return symbols
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    def encode(self, text: str) -> list[int]:
+        """Encode raw text to subword ids."""
+        ids: list[int] = []
+        for word in WordTokenizer.word_split(text):
+            for symbol in self._encode_word(word):
+                ids.append(self.vocab.token_to_id(symbol))
+        return ids
+
+    def decode(self, ids: Sequence[int]) -> str:
+        """Decode subword ids back to text (best effort)."""
+        tokens = self.vocab.decode_ids([int(i) for i in ids])
+        text = "".join(tokens)
+        return text.replace(_END_OF_WORD, " ").strip()

@@ -1,0 +1,112 @@
+"""Shared fixtures: tiny models, datasets and tokenizers sized for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.registry import build_shared_tokenizer, make_dataset
+from repro.data.world import SyntheticWorld
+from repro.models.config import ModelConfig
+from repro.models.transformer import DecoderLM
+from repro.training.trainer import Trainer, TrainingConfig
+
+TINY_VOCAB = 64
+
+
+def tiny_config(positional: str = "rope", **overrides) -> ModelConfig:
+    """A model config small enough for per-test construction."""
+    defaults = dict(
+        vocab_size=TINY_VOCAB,
+        d_model=32,
+        n_layers=2,
+        n_heads=4,
+        d_ff=64,
+        max_seq_len=256,
+        positional=positional,
+    )
+    defaults.update(overrides)
+    return ModelConfig(**defaults)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(params=["rope", "alibi", "learned"])
+def positional(request) -> str:
+    """Parametrized positional-encoding family."""
+    return request.param
+
+
+@pytest.fixture
+def tiny_model(positional) -> DecoderLM:
+    """An untrained tiny model for the requested positional family."""
+    return DecoderLM(tiny_config(positional), seed=0)
+
+
+@pytest.fixture
+def tiny_rope_model() -> DecoderLM:
+    return DecoderLM(tiny_config("rope"), seed=0)
+
+
+@pytest.fixture(scope="session")
+def world() -> SyntheticWorld:
+    return SyntheticWorld(seed=0)
+
+
+@pytest.fixture(scope="session")
+def tokenizer(world):
+    return build_shared_tokenizer(world)
+
+
+@pytest.fixture(scope="session")
+def small_summarization(world):
+    return make_dataset("cnn_dailymail", world=world, n_examples=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_conversation(world):
+    return make_dataset("soda", world=world, n_examples=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_model(tokenizer, small_summarization):
+    """A briefly trained tiny model shared across integration tests.
+
+    Training for ~60 steps takes a few seconds and is enough for the model to
+    develop non-trivial attention structure on the synthetic summarization
+    task; tests that need a *converged* model should use the on-disk zoo.
+    """
+    config = ModelConfig(
+        vocab_size=tokenizer.vocab_size,
+        d_model=48,
+        n_layers=2,
+        n_heads=4,
+        d_ff=96,
+        max_seq_len=256,
+        positional="alibi",
+    )
+    model = DecoderLM(config, seed=0)
+    max_len = min(small_summarization.max_sequence_length(tokenizer), 160)
+    pairs = small_summarization.to_training_pairs(tokenizer, max_len)
+    trainer = Trainer(model, TrainingConfig(n_steps=60, batch_size=8, log_every=0, lr=3e-3))
+    trainer.train_on_dataset(pairs)
+    return model
+
+
+def finite_difference_gradient(fn, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central finite-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad

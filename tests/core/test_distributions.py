@@ -1,0 +1,101 @@
+"""Tests for the logit-adjustment noise distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributions import (
+    GUMBEL_MEAN,
+    GUMBEL_STD,
+    ConstantAdjustment,
+    GaussianNoise,
+    GumbelNoise,
+    NoAdjustment,
+    NOISE_DISTRIBUTIONS,
+    make_noise,
+)
+
+
+class TestGumbel:
+    def test_sample_moments(self):
+        rng = np.random.default_rng(0)
+        samples = GumbelNoise().sample(200_000, rng)
+        assert abs(samples.mean() - GUMBEL_MEAN) < 0.02
+        assert abs(samples.std() - GUMBEL_STD) < 0.02
+
+    def test_custom_moments(self):
+        rng = np.random.default_rng(1)
+        noise = GumbelNoise(mu=2.0, sigma=0.5)
+        samples = noise.sample(200_000, rng)
+        assert abs(samples.mean() - 2.0) < 0.02
+        assert abs(samples.std() - 0.5) < 0.02
+
+    def test_skewness_positive(self):
+        """The Gumbel distribution is right-skewed (bias towards maxima)."""
+        rng = np.random.default_rng(2)
+        samples = GumbelNoise().sample(100_000, rng)
+        centered = samples - samples.mean()
+        skew = np.mean(centered**3) / samples.std() ** 3
+        assert skew > 0.5
+
+    def test_pdf_integrates_to_one(self):
+        noise = GumbelNoise()
+        xs = np.linspace(-8, 15, 4000)
+        integral = np.trapezoid(noise.pdf(xs), xs)
+        np.testing.assert_allclose(integral, 1.0, atol=1e-3)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            GumbelNoise(sigma=0.0)
+
+
+class TestGaussian:
+    def test_sample_moments(self):
+        rng = np.random.default_rng(3)
+        samples = GaussianNoise().sample(200_000, rng)
+        assert abs(samples.mean() - GUMBEL_MEAN) < 0.02
+        assert abs(samples.std() - GUMBEL_STD) < 0.02
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(4)
+        samples = GaussianNoise(mu=0.0, sigma=1.0).sample(100_000, rng)
+        skew = np.mean(samples**3)
+        assert abs(skew) < 0.05
+
+    def test_pdf_peak_at_mean(self):
+        noise = GaussianNoise(mu=1.0, sigma=2.0)
+        assert noise.pdf(np.array([1.0]))[0] > noise.pdf(np.array([3.0]))[0]
+
+
+class TestConstantAndNone:
+    def test_constant_value(self):
+        rng = np.random.default_rng(5)
+        samples = ConstantAdjustment(0.25).sample(10, rng)
+        np.testing.assert_allclose(samples, 0.25)
+
+    def test_none_is_zero(self):
+        rng = np.random.default_rng(6)
+        np.testing.assert_allclose(NoAdjustment().sample(10, rng), 0.0)
+
+    def test_no_density_defined(self):
+        with pytest.raises(NotImplementedError):
+            NoAdjustment().pdf(np.zeros(3))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", NOISE_DISTRIBUTIONS)
+    def test_make_all(self, name):
+        assert make_noise(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_noise("cauchy")
+
+    @given(st.sampled_from(NOISE_DISTRIBUTIONS), st.integers(1, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_property_sample_shape_and_finiteness(self, name, size):
+        rng = np.random.default_rng(size)
+        samples = make_noise(name).sample(size, rng)
+        assert samples.shape == (size,)
+        assert np.all(np.isfinite(samples))

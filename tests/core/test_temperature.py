@@ -1,0 +1,60 @@
+"""Tests for the temperature schedules (Eq. 10)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.temperature import ConstantTauSchedule, LinearTauSchedule
+
+
+class TestConstant:
+    def test_value(self):
+        schedule = ConstantTauSchedule(3.5)
+        assert schedule(0) == 3.5
+        assert schedule(100) == 3.5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ConstantTauSchedule(0.0)
+
+
+class TestLinear:
+    def test_endpoints(self):
+        schedule = LinearTauSchedule(1.0, 2.0, total_steps=10)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(10) == pytest.approx(2.0)
+
+    def test_monotone_increasing(self):
+        schedule = LinearTauSchedule(1.0, 2.0, total_steps=20)
+        values = [schedule(t) for t in range(21)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_clamped_beyond_range(self):
+        schedule = LinearTauSchedule(1.0, 2.0, total_steps=5)
+        assert schedule(50) == pytest.approx(2.0)
+        assert schedule(-3) == pytest.approx(1.0)
+
+    def test_delta_matches_equation_10(self):
+        schedule = LinearTauSchedule(1.0, 3.0, total_steps=8)
+        assert schedule.delta == pytest.approx((3.0 - 1.0) / 8)
+        assert schedule(4) == pytest.approx(1.0 + 4 * schedule.delta)
+
+    def test_decreasing_schedule_supported(self):
+        schedule = LinearTauSchedule(2.0, 1.0, total_steps=10)
+        assert schedule(0) == pytest.approx(2.0)
+        assert schedule(10) == pytest.approx(1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            LinearTauSchedule(0.0, 2.0, 10)
+        with pytest.raises(ValueError):
+            LinearTauSchedule(1.0, 2.0, 0)
+
+    @given(
+        st.floats(0.1, 5.0), st.floats(0.1, 5.0), st.integers(1, 100), st.integers(0, 200)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_always_within_range(self, tau_init, tau_end, total, step):
+        schedule = LinearTauSchedule(tau_init, tau_end, total)
+        low, high = sorted((tau_init, tau_end))
+        assert low - 1e-9 <= schedule(step) <= high + 1e-9

@@ -1,0 +1,37 @@
+"""Tests for the experiment command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "table1" in out
+
+    def test_no_argument_lists(self, capsys):
+        assert main([]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_registry_covers_all_paper_artifacts(self):
+        expected = {
+            "fig01", "fig03ab", "fig03c", "fig04", "fig05", "fig07", "fig08",
+            "fig09", "fig10", "fig11", "fig12", "fig16",
+            "table1", "table2", "table3", "table4", "appendix-a1", "heatmaps",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_perfmodel_experiment_runs_and_saves(self, tmp_path, capsys):
+        """table1 needs no trained models, so it can run end-to-end in a test."""
+        assert main(["table1", "--output-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "OOM" in out
+        saved = list(tmp_path.glob("*.txt"))
+        assert len(saved) == 1
+        assert "keyformer_50" in saved[0].read_text()

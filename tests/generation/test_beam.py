@@ -1,0 +1,79 @@
+"""Tests for beam search with per-beam KV caches."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_policy
+from repro.generation.beam import BeamSearch
+from repro.generation.generator import Generator
+from repro.models.config import GenerationConfig
+from repro.models.transformer import DecoderLM
+from tests.conftest import tiny_config
+
+
+class TestBeamSearch:
+    def test_returns_hypotheses_sorted_by_score(self, tiny_rope_model, rng):
+        beam = BeamSearch(tiny_rope_model, make_policy("full"))
+        prompt = rng.integers(0, 64, size=10)
+        result = beam.search(prompt, GenerationConfig(max_new_tokens=5, beam_size=3))
+        scores = [h.normalized_score for h in result.hypotheses]
+        assert scores == sorted(scores, reverse=True)
+        assert result.best.tokens == result.hypotheses[0].tokens
+        assert len(result.best.tokens) <= 5
+
+    def test_beam_at_least_as_good_as_greedy(self, rng):
+        """Beam search's best raw log-probability must be >= greedy's."""
+        model = DecoderLM(tiny_config("alibi"), seed=11)
+        prompt = rng.integers(0, 64, size=12)
+        greedy = Generator(model, make_policy("full")).generate(
+            prompt, GenerationConfig(max_new_tokens=4)
+        )
+        beam = BeamSearch(model, make_policy("full")).search(
+            prompt, GenerationConfig(max_new_tokens=4, beam_size=4, length_penalty=1.0)
+        )
+        full_length = [h for h in beam.hypotheses if len(h.tokens) == 4]
+        assert full_length, "expected at least one full-length hypothesis"
+        assert max(h.raw_score for h in full_length) >= greedy.log_probs[0] - 1e-8
+
+    def test_beam_size_one_matches_greedy_tokens(self, rng):
+        model = DecoderLM(tiny_config("rope"), seed=12)
+        prompt = rng.integers(0, 64, size=10)
+        greedy = Generator(model, make_policy("full")).generate(
+            prompt, GenerationConfig(max_new_tokens=5)
+        )
+        beam = BeamSearch(model, make_policy("full")).search(
+            prompt, GenerationConfig(max_new_tokens=5, beam_size=1)
+        )
+        assert beam.best.tokens == greedy.sequences[0]
+
+    def test_works_with_reduced_cache(self, tiny_rope_model, rng):
+        beam = BeamSearch(tiny_rope_model, make_policy("keyformer", kv_fraction=0.5))
+        prompt = rng.integers(0, 64, size=20)
+        result = beam.search(prompt, GenerationConfig(max_new_tokens=6, beam_size=4))
+        assert len(result.best.tokens) <= 6
+        assert result.policy["policy"] == "keyformer"
+
+    def test_eos_terminates_hypotheses(self, tiny_rope_model, rng):
+        prompt = rng.integers(0, 64, size=10)
+        probe = BeamSearch(tiny_rope_model, make_policy("full")).search(
+            prompt, GenerationConfig(max_new_tokens=4, beam_size=2)
+        )
+        eos = probe.best.tokens[1] if len(probe.best.tokens) > 1 else probe.best.tokens[0]
+        result = BeamSearch(tiny_rope_model, make_policy("full")).search(
+            prompt, GenerationConfig(max_new_tokens=8, beam_size=2, eos_token_id=eos)
+        )
+        assert any(h.tokens and h.tokens[-1] == eos for h in result.hypotheses)
+
+    def test_empty_prompt_rejected(self, tiny_rope_model):
+        beam = BeamSearch(tiny_rope_model)
+        with pytest.raises(ValueError):
+            beam.search(np.array([], dtype=np.int64))
+
+    def test_length_penalty_changes_ranking_monotonically(self, tiny_rope_model, rng):
+        prompt = rng.integers(0, 64, size=10)
+        result = BeamSearch(tiny_rope_model, make_policy("full")).search(
+            prompt, GenerationConfig(max_new_tokens=5, beam_size=3, length_penalty=2.0)
+        )
+        for hypothesis in result.hypotheses:
+            expected = hypothesis.raw_score / max(len(hypothesis.tokens), 1) ** 2.0
+            np.testing.assert_allclose(hypothesis.normalized_score, expected, atol=1e-12)

@@ -1,0 +1,50 @@
+"""Tests for next-token samplers."""
+
+import numpy as np
+import pytest
+
+from repro.generation.sampler import GreedySampler, TopKSampler, make_sampler
+
+
+class TestGreedy:
+    def test_argmax(self):
+        logits = np.array([[0.1, 5.0, 0.2], [3.0, 0.0, -1.0]])
+        np.testing.assert_array_equal(GreedySampler()(logits), [1, 0])
+
+    def test_accepts_1d(self):
+        assert GreedySampler()(np.array([0.0, 2.0, 1.0])).tolist() == [1]
+
+
+class TestTopK:
+    def test_only_topk_tokens_sampled(self):
+        logits = np.array([[10.0, 9.5, -50.0, -50.0, -50.0]])
+        sampler = TopKSampler(top_k=2, seed=0)
+        draws = {int(sampler(logits)[0]) for _ in range(50)}
+        assert draws.issubset({0, 1})
+        assert len(draws) == 2  # both plausible tokens appear
+
+    def test_deterministic_with_seed(self):
+        logits = np.random.default_rng(0).normal(size=(1, 20))
+        a = TopKSampler(top_k=5, seed=42)
+        b = TopKSampler(top_k=5, seed=42)
+        assert [int(a(logits)[0]) for _ in range(10)] == [int(b(logits)[0]) for _ in range(10)]
+
+    def test_low_temperature_approaches_greedy(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        sampler = TopKSampler(top_k=0, temperature=0.01, seed=1)
+        assert all(int(sampler(logits)[0]) == 2 for _ in range(20))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TopKSampler(top_k=-1)
+        with pytest.raises(ValueError):
+            TopKSampler(temperature=0.0)
+
+
+class TestFactory:
+    def test_defaults_to_greedy(self):
+        assert isinstance(make_sampler(), GreedySampler)
+
+    def test_randomness_requested(self):
+        assert isinstance(make_sampler(top_k=5), TopKSampler)
+        assert isinstance(make_sampler(temperature=0.7), TopKSampler)

@@ -1,0 +1,112 @@
+"""Tests for the per-layer KV cache storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvcache.cache import LayerKVCache
+
+
+def make_cache(rng, batch=1, heads=2, t=6, d_head=4):
+    keys = rng.normal(size=(batch, heads, t, d_head))
+    values = rng.normal(size=(batch, heads, t, d_head))
+    return LayerKVCache.from_prompt(keys, values), keys, values
+
+
+class TestConstruction:
+    def test_from_prompt_defaults_positions(self, rng):
+        cache, keys, values = make_cache(rng)
+        assert cache.length == 6
+        np.testing.assert_array_equal(cache.positions[0, 0], np.arange(6))
+        np.testing.assert_allclose(cache.keys, keys)
+
+    def test_empty(self):
+        cache = LayerKVCache.empty(2, 3, 8)
+        assert cache.length == 0
+        assert cache.batch_size == 2 and cache.n_heads == 3 and cache.d_head == 8
+
+    def test_shape_validation(self, rng):
+        keys = rng.normal(size=(1, 2, 4, 3))
+        values = rng.normal(size=(1, 2, 5, 3))
+        with pytest.raises(ValueError):
+            LayerKVCache(keys, values, np.zeros((1, 2, 4), dtype=np.int64))
+        with pytest.raises(ValueError):
+            LayerKVCache(keys, keys, np.zeros((1, 2, 7), dtype=np.int64))
+
+    def test_nbytes_fp16(self, rng):
+        cache, _, _ = make_cache(rng, batch=2, heads=2, t=10, d_head=4)
+        # 2 tensors * 2 batch * 2 heads * 10 tokens * 4 dims * 2 bytes
+        assert cache.nbytes(2) == 2 * 2 * 2 * 10 * 4 * 2
+
+
+class TestAppendGather:
+    def test_append_grows_and_records_position(self, rng):
+        cache, _, _ = make_cache(rng)
+        k = rng.normal(size=(1, 2, 4))
+        v = rng.normal(size=(1, 2, 4))
+        cache.append(k, v, position=42)
+        assert cache.length == 7
+        assert cache.positions[0, 0, -1] == 42
+        np.testing.assert_allclose(cache.keys[:, :, -1, :], k)
+
+    def test_append_shape_check(self, rng):
+        cache, _, _ = make_cache(rng)
+        with pytest.raises(ValueError):
+            cache.append(np.zeros((1, 2, 5)), np.zeros((1, 2, 5)), 0)
+
+    def test_gather_keeps_selected(self, rng):
+        cache, keys, _ = make_cache(rng)
+        indices = np.broadcast_to(np.array([0, 3, 5]), (1, 2, 3)).copy()
+        cache.gather(indices)
+        assert cache.length == 3
+        np.testing.assert_allclose(cache.keys[0, 0], keys[0, 0, [0, 3, 5]])
+        np.testing.assert_array_equal(cache.positions[0, 0], [0, 3, 5])
+        assert cache.total_evicted == 3
+
+    def test_gather_per_head_selections_differ(self, rng):
+        cache, keys, _ = make_cache(rng)
+        indices = np.stack([np.array([[0, 1, 2]]), np.array([[3, 4, 5]])], axis=1)
+        cache.gather(indices)
+        np.testing.assert_allclose(cache.keys[0, 0], keys[0, 0, :3])
+        np.testing.assert_allclose(cache.keys[0, 1], keys[0, 1, 3:])
+
+    def test_gather_accepts_1d_indices(self, rng):
+        cache, _, _ = make_cache(rng)
+        cache.gather(np.array([1, 2]))
+        assert cache.length == 2
+
+    def test_gather_out_of_range(self, rng):
+        cache, _, _ = make_cache(rng)
+        with pytest.raises(IndexError):
+            cache.gather(np.array([10]))
+
+    def test_reorder_batch(self, rng):
+        cache, keys, _ = make_cache(rng, batch=3)
+        cache.reorder(np.array([2, 2, 0]))
+        np.testing.assert_allclose(cache.keys[0], keys[2])
+        np.testing.assert_allclose(cache.keys[2], keys[0])
+
+    def test_reorder_out_of_range(self, rng):
+        cache, _, _ = make_cache(rng, batch=2)
+        with pytest.raises(IndexError):
+            cache.reorder(np.array([0, 5]))
+
+    def test_renumbered_positions(self, rng):
+        cache, _, _ = make_cache(rng)
+        cache.gather(np.array([1, 4, 5]))
+        np.testing.assert_array_equal(cache.renumbered_positions()[0, 0], [0, 1, 2])
+        np.testing.assert_array_equal(cache.retained_original_positions()[0, 0], [1, 4, 5])
+
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_gather_preserves_order_and_content(self, length, keep, seed):
+        keep = min(keep, length)
+        rng = np.random.default_rng(seed)
+        keys = rng.normal(size=(1, 2, length, 3))
+        cache = LayerKVCache.from_prompt(keys, keys.copy())
+        chosen = np.sort(rng.choice(length, size=keep, replace=False))
+        cache.gather(np.broadcast_to(chosen, (1, 2, keep)).copy())
+        assert cache.length == keep
+        np.testing.assert_allclose(cache.keys[0, 0], keys[0, 0, chosen])
+        assert np.all(np.diff(cache.positions[0, 0]) > 0)

@@ -1,0 +1,48 @@
+"""Tests for cache statistics accounting."""
+
+import numpy as np
+
+from repro.kvcache.stats import CacheStats
+
+
+class TestCacheStats:
+    def make(self):
+        stats = CacheStats(n_layers=2, n_heads=4, d_head=8, batch_size=1, prompt_len=10)
+        stats.record_step([10, 10])
+        stats.record_step([10, 10])
+        stats.record_step([12, 12])
+        return stats
+
+    def test_step_counts(self):
+        stats = self.make()
+        assert stats.n_steps == 3
+        assert stats.peak_cache_length() == 12
+        np.testing.assert_allclose(stats.mean_cache_length(), (10 + 10 + 12) / 3)
+
+    def test_kv_entries_and_bytes(self):
+        stats = self.make()
+        assert stats.kv_entries_read() == 2 * (10 + 10 + 12)
+        # bytes per entry = 2 tensors * 4 heads * 8 dims * 2 bytes = 128
+        assert stats.kv_bytes_read(2) == stats.kv_entries_read() * 128
+
+    def test_peak_bytes(self):
+        stats = self.make()
+        assert stats.peak_kv_bytes(2) == 12 * 128 * 2  # peak length * per-entry * layers
+
+    def test_eviction_rate(self):
+        stats = self.make()
+        stats.total_appended = 100
+        stats.total_evicted = 25
+        assert stats.eviction_rate() == 0.25
+
+    def test_empty_stats(self):
+        stats = CacheStats()
+        assert stats.mean_cache_length() == 0.0
+        assert stats.peak_cache_length() == 0
+        assert stats.kv_entries_read() == 0
+        assert stats.eviction_rate() == 0.0
+
+    def test_summary_keys(self):
+        summary = self.make().summary()
+        for key in ("n_steps", "mean_cache_length", "peak_cache_length", "kv_entries_read"):
+            assert key in summary

@@ -1,0 +1,117 @@
+"""Tests for the from-scratch ROUGE implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.rouge import RougeScore, aggregate_rouge, rouge_all, rouge_l, rouge_n
+
+sentences = st.lists(
+    st.sampled_from(["alice", "bob", "likes", "chess", "paris", "visited", "the", "report"]),
+    min_size=1,
+    max_size=12,
+).map(" ".join)
+
+
+class TestRougeN:
+    def test_identical_texts_score_one(self):
+        score = rouge_n("the cat sat on the mat", "the cat sat on the mat", 2)
+        assert score.f1 == pytest.approx(1.0)
+        assert score.precision == pytest.approx(1.0)
+        assert score.recall == pytest.approx(1.0)
+
+    def test_disjoint_texts_score_zero(self):
+        assert rouge_n("aaa bbb", "ccc ddd", 1).f1 == 0.0
+
+    def test_hand_computed_unigram(self):
+        # candidate: {the, cat, sat}; reference: {the, cat, slept, soundly}
+        # overlap = 2, precision = 2/3, recall = 2/4
+        score = rouge_n("the cat sat", "the cat slept soundly", 1)
+        assert score.precision == pytest.approx(2 / 3)
+        assert score.recall == pytest.approx(0.5)
+        assert score.f1 == pytest.approx(2 * (2 / 3) * 0.5 / (2 / 3 + 0.5))
+
+    def test_hand_computed_bigram(self):
+        score = rouge_n("the cat sat on the mat", "the cat lay on the mat", 2)
+        # candidate bigrams: 5, reference bigrams: 5, overlap: {the cat, on the, the mat} = 3
+        assert score.precision == pytest.approx(3 / 5)
+        assert score.recall == pytest.approx(3 / 5)
+
+    def test_duplicate_ngrams_clipped(self):
+        score = rouge_n("the the the", "the cat", 1)
+        assert score.precision == pytest.approx(1 / 3)
+        assert score.recall == pytest.approx(1 / 2)
+
+    def test_empty_candidate(self):
+        assert rouge_n("", "reference text", 1) == RougeScore.zero()
+
+    def test_short_text_has_no_bigrams(self):
+        assert rouge_n("word", "word", 2) == RougeScore.zero()
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            rouge_n("a", "a", 0)
+
+    def test_case_insensitive(self):
+        assert rouge_n("The CAT", "the cat", 1).f1 == pytest.approx(1.0)
+
+
+class TestRougeL:
+    def test_identical(self):
+        assert rouge_l("a b c d", "a b c d").f1 == pytest.approx(1.0)
+
+    def test_subsequence_not_substring(self):
+        # LCS of "a x b y c" and "a b c" is "a b c" (length 3).
+        score = rouge_l("a x b y c", "a b c")
+        assert score.recall == pytest.approx(1.0)
+        assert score.precision == pytest.approx(3 / 5)
+
+    def test_order_matters(self):
+        forward = rouge_l("a b c", "a b c").f1
+        backward = rouge_l("c b a", "a b c").f1
+        assert backward < forward
+
+    def test_empty(self):
+        assert rouge_l("", "a b").f1 == 0.0
+
+
+class TestAggregate:
+    def test_aggregate_scaled_to_percentage(self):
+        scores = aggregate_rouge(["a b c"], ["a b c"])
+        assert scores["rouge1"] == pytest.approx(100.0)
+        assert scores["rouge2"] == pytest.approx(100.0)
+        assert scores["rougeL"] == pytest.approx(100.0)
+
+    def test_mean_over_corpus(self):
+        scores = aggregate_rouge(["a b", "x y"], ["a b", "a b"])
+        assert scores["rouge1"] == pytest.approx(50.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            aggregate_rouge(["a"], ["a", "b"])
+
+    def test_empty_corpus(self):
+        with pytest.raises(ValueError):
+            aggregate_rouge([], [])
+
+    def test_rouge_all_keys(self):
+        assert set(rouge_all("a b", "a c")) == {"rouge1", "rouge2", "rougeL"}
+
+    @given(sentences, sentences)
+    @settings(max_examples=40, deadline=None)
+    def test_property_scores_bounded_and_symmetric_f1(self, cand, ref):
+        scores = rouge_all(cand, ref)
+        for score in scores.values():
+            assert 0.0 <= score.f1 <= 1.0
+            assert 0.0 <= score.precision <= 1.0
+            assert 0.0 <= score.recall <= 1.0
+        # Swapping candidate and reference swaps precision/recall but keeps F1.
+        swapped = rouge_all(ref, cand)
+        assert scores["rouge1"].f1 == pytest.approx(swapped["rouge1"].f1)
+        assert scores["rougeL"].f1 == pytest.approx(swapped["rougeL"].f1)
+
+    @given(sentences)
+    @settings(max_examples=20, deadline=None)
+    def test_property_identity_is_perfect(self, text):
+        assert rouge_all(text, text)["rouge1"].f1 == pytest.approx(1.0)

@@ -1,0 +1,117 @@
+"""Tests for RoPE and ALiBi positional encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.positional import (
+    alibi_bias_matrix,
+    alibi_bias_step,
+    alibi_slopes,
+    rope_rotate,
+    rope_rotate_backward,
+)
+
+
+class TestRope:
+    def test_position_zero_is_identity(self, rng):
+        x = rng.normal(size=(2, 3, 8))
+        np.testing.assert_allclose(rope_rotate(x, np.zeros((2, 3))), x, atol=1e-12)
+
+    def test_norm_preserved(self, rng):
+        x = rng.normal(size=(2, 4, 5, 16))
+        rotated = rope_rotate(x, np.arange(5))
+        np.testing.assert_allclose(
+            np.linalg.norm(rotated, axis=-1), np.linalg.norm(x, axis=-1), atol=1e-9
+        )
+
+    def test_inverse_rotation_round_trip(self, rng):
+        x = rng.normal(size=(3, 7, 8))
+        positions = np.arange(7)
+        rotated = rope_rotate(x, positions)
+        recovered = rope_rotate(rotated, positions, inverse=True)
+        np.testing.assert_allclose(recovered, x, atol=1e-9)
+
+    def test_backward_is_inverse(self, rng):
+        x = rng.normal(size=(2, 5, 8))
+        positions = np.arange(5)
+        np.testing.assert_allclose(
+            rope_rotate_backward(x, positions), rope_rotate(x, positions, inverse=True), atol=1e-12
+        )
+
+    def test_relative_position_property(self, rng):
+        """q·k after RoPE depends only on the relative offset between positions."""
+        d = 8
+        q = rng.normal(size=d)
+        k = rng.normal(size=d)
+        dot_a = rope_rotate(q, np.array(7)) @ rope_rotate(k, np.array(3))
+        dot_b = rope_rotate(q, np.array(14)) @ rope_rotate(k, np.array(10))
+        np.testing.assert_allclose(dot_a, dot_b, atol=1e-9)
+
+    def test_partial_rotation_leaves_tail_untouched(self, rng):
+        x = rng.normal(size=(1, 4, 8))
+        rotated = rope_rotate(x, np.arange(4), rope_dims=4)
+        np.testing.assert_allclose(rotated[..., 4:], x[..., 4:], atol=1e-12)
+        assert not np.allclose(rotated[..., :4][..., 1:], x[..., :4][..., 1:])
+
+    def test_invalid_rope_dims(self, rng):
+        x = rng.normal(size=(1, 2, 8))
+        with pytest.raises(ValueError):
+            rope_rotate(x, np.arange(2), rope_dims=16)
+        with pytest.raises(ValueError):
+            rope_rotate(x, np.arange(2), rope_dims=3)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_property_norm_preserved_any_position(self, position):
+        rng = np.random.default_rng(position)
+        x = rng.normal(size=(1, 1, 8))
+        rotated = rope_rotate(x, np.array(position))
+        np.testing.assert_allclose(
+            np.linalg.norm(rotated), np.linalg.norm(x), atol=1e-9
+        )
+
+
+class TestAlibi:
+    def test_slopes_power_of_two(self):
+        slopes = alibi_slopes(8)
+        assert slopes.shape == (8,)
+        assert np.all(slopes > 0)
+        assert np.all(np.diff(slopes) < 0)  # geometrically decreasing
+        np.testing.assert_allclose(slopes[0], 2 ** (-8 / 8), atol=1e-12)
+
+    def test_slopes_non_power_of_two(self):
+        slopes = alibi_slopes(6)
+        assert slopes.shape == (6,)
+        assert np.all(slopes > 0)
+
+    def test_slopes_invalid(self):
+        with pytest.raises(ValueError):
+            alibi_slopes(0)
+
+    def test_bias_matrix_shape_and_sign(self):
+        bias = alibi_bias_matrix(4, 6)
+        assert bias.shape == (4, 6, 6)
+        # Diagonal gets zero bias, lower triangle is non-positive.
+        assert np.allclose(np.diagonal(bias, axis1=1, axis2=2), 0.0)
+        assert np.all(bias <= 0)
+
+    def test_bias_matrix_distance_scaling(self):
+        bias = alibi_bias_matrix(2, 5)
+        slopes = alibi_slopes(2)
+        np.testing.assert_allclose(bias[0, 4, 0], -slopes[0] * 4, atol=1e-12)
+        np.testing.assert_allclose(bias[1, 3, 1], -slopes[1] * 2, atol=1e-12)
+
+    def test_bias_step_matches_matrix_row(self):
+        n_heads, t = 4, 7
+        matrix = alibi_bias_matrix(n_heads, t)
+        key_positions = np.broadcast_to(np.arange(t), (1, n_heads, t))
+        step = alibi_bias_step(n_heads, t - 1, key_positions)
+        np.testing.assert_allclose(step[0], matrix[:, t - 1, :], atol=1e-12)
+
+    def test_bias_step_recent_tokens_favored(self):
+        key_positions = np.broadcast_to(np.arange(10), (1, 2, 10))
+        bias = alibi_bias_step(2, 9, key_positions)
+        # Bias increases (towards zero) with key position: recent keys preferred.
+        assert np.all(np.diff(bias[0, 0]) > 0)

@@ -1,0 +1,145 @@
+"""Tests for decoder blocks, the full LM, configs and the model zoo registry."""
+
+import numpy as np
+import pytest
+
+from repro.models.config import GenerationConfig, ModelConfig
+from repro.models.model_zoo import MODEL_ZOO, build_model, get_model_config
+from repro.models.transformer import DecoderLM
+from repro.training.optimizer import Adam
+from tests.conftest import tiny_config
+
+
+class TestModelConfig:
+    def test_invalid_heads(self):
+        with pytest.raises(ValueError):
+            ModelConfig(vocab_size=10, d_model=30, n_heads=4)
+
+    def test_invalid_positional(self):
+        with pytest.raises(ValueError):
+            ModelConfig(vocab_size=10, positional="sinusoidal")
+
+    def test_invalid_vocab(self):
+        with pytest.raises(ValueError):
+            ModelConfig(vocab_size=0)
+
+    def test_round_trip_dict(self):
+        config = tiny_config("alibi")
+        restored = ModelConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_rope_dims_even(self):
+        config = tiny_config("rope", rope_fraction=0.6)
+        assert config.rope_dims % 2 == 0
+        assert 0 < config.rope_dims <= config.d_head
+
+    def test_n_parameters_matches_built_model(self):
+        config = tiny_config("learned")
+        model = DecoderLM(config)
+        assert model.n_parameters() == config.n_parameters()
+
+    def test_generation_config_validation(self):
+        with pytest.raises(ValueError):
+            GenerationConfig(max_new_tokens=0)
+        with pytest.raises(ValueError):
+            GenerationConfig(beam_size=0)
+        with pytest.raises(ValueError):
+            GenerationConfig(temperature=0.0)
+
+
+class TestForward:
+    def test_logits_shape(self, tiny_model, rng):
+        ids = rng.integers(0, 64, size=(2, 10))
+        logits = tiny_model(ids)
+        assert logits.shape == (2, 10, 64)
+
+    def test_accepts_1d_input(self, tiny_model, rng):
+        ids = rng.integers(0, 64, size=12)
+        assert tiny_model(ids).shape == (1, 12, 64)
+
+    def test_learned_positions_length_guard(self, rng):
+        model = DecoderLM(tiny_config("learned", max_seq_len=16))
+        with pytest.raises(ValueError):
+            model(rng.integers(0, 64, size=(1, 32)))
+
+    def test_causality_of_full_model(self, tiny_model, rng):
+        ids = rng.integers(0, 64, size=(1, 9))
+        logits_a = tiny_model(ids).copy()
+        ids_mod = ids.copy()
+        ids_mod[0, -1] = (ids_mod[0, -1] + 1) % 64
+        logits_b = tiny_model(ids_mod)
+        np.testing.assert_allclose(logits_a[0, :-1], logits_b[0, :-1], atol=1e-9)
+
+    def test_collect_attention_requires_flag(self, tiny_model, rng):
+        tiny_model(rng.integers(0, 64, size=(1, 5)))
+        with pytest.raises(RuntimeError):
+            tiny_model.collect_attention()
+        tiny_model(rng.integers(0, 64, size=(1, 5)), store_attention=True)
+        maps = tiny_model.collect_attention()
+        assert len(maps) == tiny_model.config.n_layers
+        assert maps[0].shape == (1, 4, 5, 5)
+
+
+class TestTrainingPath:
+    def test_loss_decreases_with_adam(self, positional, rng):
+        model = DecoderLM(tiny_config(positional), seed=1)
+        optimizer = Adam(model, lr=3e-3)
+        ids = rng.integers(3, 60, size=(4, 12))
+        targets = np.roll(ids, -1, axis=1)
+        first = None
+        for _ in range(25):
+            loss = model.train_step_gradients(ids, targets)
+            optimizer.step()
+            first = first if first is not None else loss
+        assert loss < first * 0.9
+
+    def test_loss_ignores_masked_targets(self, tiny_rope_model, rng):
+        ids = rng.integers(0, 64, size=(2, 8))
+        targets = np.full_like(ids, -100)
+        targets[:, -1] = 3
+        loss_masked, grad = tiny_rope_model.loss(ids, targets)
+        assert np.isfinite(loss_masked)
+        assert np.allclose(grad[:, :-1, :], 0.0)
+
+    def test_gradients_flow_to_all_parameters(self, tiny_model, rng):
+        ids = rng.integers(0, 64, size=(2, 10))
+        targets = np.roll(ids, -1, axis=1)
+        tiny_model.train_step_gradients(ids, targets)
+        zero_grads = [
+            name
+            for name, grad in tiny_model.named_gradients()
+            if np.allclose(grad, 0.0)
+        ]
+        # Two exceptions are mathematically expected: unused position-embedding
+        # rows, and the key-projection bias (softmax is invariant to adding a
+        # constant to every logit of a row, so its gradient is exactly zero).
+        assert all(
+            "position_embedding" in name or name.endswith("w_k.b") for name in zero_grads
+        )
+
+    def test_state_dict_round_trip_preserves_outputs(self, tiny_model, rng):
+        ids = rng.integers(0, 64, size=(1, 7))
+        expected = tiny_model(ids)
+        clone = DecoderLM(tiny_model.config, seed=123)
+        clone.load_state_dict(tiny_model.state_dict())
+        np.testing.assert_allclose(clone(ids), expected, atol=1e-12)
+
+
+class TestModelZoo:
+    def test_zoo_covers_three_positional_families(self):
+        families = {entry.positional for entry in MODEL_ZOO.values()}
+        assert families == {"rope", "alibi", "learned"}
+
+    def test_get_model_config(self):
+        config = get_model_config("gptj_mini", vocab_size=100)
+        assert config.positional == "rope"
+        assert config.vocab_size == 100
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_model_config("gpt5", vocab_size=10)
+
+    def test_build_model(self):
+        model = build_model("mpt_mini", vocab_size=80)
+        assert isinstance(model, DecoderLM)
+        assert model.config.positional == "alibi"

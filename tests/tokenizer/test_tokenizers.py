@@ -1,0 +1,129 @@
+"""Tests for vocabulary, word-level tokenizer and BPE tokenizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tokenizer.bpe import BPETokenizer
+from repro.tokenizer.vocab import Vocabulary
+from repro.tokenizer.word import WordTokenizer
+
+words = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=6), min_size=1, max_size=12
+)
+
+
+class TestVocabulary:
+    def test_special_ids_are_stable(self):
+        vocab = Vocabulary(["zebra", "apple"])
+        assert vocab.pad_id == 0
+        assert vocab.bos_id == 1
+        assert vocab.eos_id == 2
+        assert vocab.unk_id == 3
+        assert vocab.sep_id == 4
+
+    def test_add_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("hello")
+        second = vocab.add("hello")
+        assert first == second
+
+    def test_unknown_token_maps_to_unk(self):
+        vocab = Vocabulary(["known"])
+        assert vocab.token_to_id("unknown-token") == vocab.unk_id
+
+    def test_decode_skips_specials(self):
+        vocab = Vocabulary(["a", "b"])
+        ids = [vocab.bos_id, vocab.token_to_id("a"), vocab.sep_id, vocab.token_to_id("b"), vocab.eos_id]
+        assert vocab.decode_ids(ids) == ["a", "b"]
+        assert len(vocab.decode_ids(ids, skip_special=False)) == 5
+
+    def test_out_of_range_id(self):
+        with pytest.raises(IndexError):
+            Vocabulary().id_to_token(999)
+
+    def test_contains_and_len(self):
+        vocab = Vocabulary(["x"])
+        assert "x" in vocab and "y" not in vocab
+        assert len(vocab) == 6  # 5 specials + 1
+
+
+class TestWordTokenizer:
+    def test_round_trip(self):
+        tokenizer = WordTokenizer.from_corpus(["alice likes chess . bob visited paris ."])
+        text = "alice likes chess ."
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_punctuation_separated(self):
+        assert WordTokenizer.word_split("hello, world!") == ["hello", ",", "world", "!"]
+
+    def test_lowercasing(self):
+        tokenizer = WordTokenizer.from_corpus(["Alice"])
+        assert tokenizer.encode("ALICE") == tokenizer.encode("alice")
+
+    def test_bos_eos_flags(self):
+        tokenizer = WordTokenizer.from_corpus(["a b"])
+        ids = tokenizer.encode("a b", add_bos=True, add_eos=True)
+        assert ids[0] == tokenizer.vocab.bos_id and ids[-1] == tokenizer.vocab.eos_id
+
+    def test_oov_maps_to_unk(self):
+        tokenizer = WordTokenizer.from_corpus(["a b c"])
+        assert tokenizer.encode("zzz") == [tokenizer.vocab.unk_id]
+
+    def test_max_vocab_limits_size(self):
+        tokenizer = WordTokenizer.from_corpus(["a b c d e f g h"], max_vocab=3)
+        assert tokenizer.vocab_size == 5 + 3
+
+    def test_frequency_ordering_deterministic(self):
+        a = WordTokenizer.from_corpus(["x y y z z z"])
+        b = WordTokenizer.from_corpus(["z z z y y x"])
+        assert a.vocab.tokens() == b.vocab.tokens()
+
+    def test_pad_right_and_left(self):
+        tokenizer = WordTokenizer.from_corpus(["a b c"])
+        ids = tokenizer.encode("a b c")
+        right = tokenizer.pad(ids, 6)
+        left = tokenizer.pad(ids, 6, left=True)
+        assert right.shape == (6,) and left.shape == (6,)
+        assert right[-1] == tokenizer.vocab.pad_id and left[0] == tokenizer.vocab.pad_id
+        # Truncation
+        assert tokenizer.pad(ids, 2).shape == (2,)
+
+    @given(words)
+    @settings(max_examples=30, deadline=None)
+    def test_property_round_trip(self, tokens):
+        text = " ".join(tokens)
+        tokenizer = WordTokenizer.from_corpus([text])
+        assert tokenizer.decode(tokenizer.encode(text)) == text.lower()
+
+
+class TestBPETokenizer:
+    def test_round_trip_on_training_corpus(self):
+        corpus = ["the cat sat on the mat", "the dog sat on the log"]
+        tokenizer = BPETokenizer.train(corpus, n_merges=50)
+        for text in corpus:
+            assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_merges_reduce_sequence_length(self):
+        corpus = ["banana banana banana bandana"] * 4
+        no_merge = BPETokenizer.train(corpus, n_merges=0)
+        merged = BPETokenizer.train(corpus, n_merges=60)
+        text = "banana bandana"
+        assert len(merged.encode(text)) < len(no_merge.encode(text))
+
+    def test_unseen_characters_become_unk(self):
+        tokenizer = BPETokenizer.train(["abc abc"], n_merges=5)
+        ids = tokenizer.encode("xyz")
+        assert all(i == tokenizer.vocab.unk_id for i in ids)
+
+    def test_vocab_size_positive(self):
+        tokenizer = BPETokenizer.train(["hello world"], n_merges=10)
+        assert tokenizer.vocab_size > 5
+
+    @given(words)
+    @settings(max_examples=15, deadline=None)
+    def test_property_round_trip_within_corpus(self, tokens):
+        text = " ".join(tokens)
+        tokenizer = BPETokenizer.train([text], n_merges=30)
+        assert tokenizer.decode(tokenizer.encode(text)) == text
