@@ -1,0 +1,20 @@
+# Developer entry points. `make check` is the gate CI runs: the tier-1 test
+# suite plus a fast smoke subset of the microbenchmarks, so functional *and*
+# hot-path regressions fail loudly.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke check
+
+test:
+	$(PYTHON) -m pytest -x -q tests
+
+bench:
+	$(PYTHON) benchmarks/run_bench.py
+
+bench-smoke:
+	$(PYTHON) benchmarks/run_bench.py --smoke --output /tmp/BENCH_smoke.json
+
+check: test bench-smoke
+	@echo "check OK: tier-1 tests + benchmark smoke run passed"

@@ -29,6 +29,54 @@ def micro_model():
     return DecoderLM(config, seed=0)
 
 
+@pytest.fixture(scope="module")
+def micro_model_1k():
+    """1k-context model at the float32 inference dtype (docs/performance.md)."""
+    config = ModelConfig(
+        vocab_size=256, d_model=64, n_layers=4, n_heads=8, d_ff=256, max_seq_len=2176,
+        positional="rope", compute_dtype="float32",
+    )
+    return DecoderLM(config, seed=0)
+
+
+def _bench_decode_1k(benchmark, model, policy_name, n_tokens=32):
+    """Benchmark the token-generation phase at 1k context.
+
+    The prompt phase runs in (untimed) per-round setup; the timed region is
+    the incremental decode loop — the hot path the slab cache, rotated-key
+    cache and compute dtype target.
+    """
+    prompt = np.random.default_rng(1).integers(0, 256, size=(1, 1024))
+
+    def setup():
+        policy = (
+            make_policy("keyformer", kv_fraction=0.5)
+            if policy_name == "keyformer"
+            else make_policy(policy_name)
+        )
+        generator = Generator(model, policy)
+        logits, manager = generator._prompt_forward(prompt, n_tokens)
+        return (manager, logits), {}
+
+    def decode(manager, logits):
+        views = manager.layer_views()
+        tokens = np.argmax(logits[:, -1, :], axis=-1)
+        for _ in range(n_tokens):
+            step_logits = model.decode_step(tokens, manager.current_position, views)
+            manager.advance()
+            tokens = np.argmax(step_logits, axis=-1)
+
+    benchmark.pedantic(decode, setup=setup, rounds=3, iterations=1)
+
+
+def test_micro_generation_with_keyformer_1k(benchmark, micro_model_1k):
+    _bench_decode_1k(benchmark, micro_model_1k, "keyformer")
+
+
+def test_micro_generation_full_attention_1k(benchmark, micro_model_1k):
+    _bench_decode_1k(benchmark, micro_model_1k, "full")
+
+
 def test_micro_prompt_forward(benchmark, micro_model):
     ids = np.random.default_rng(0).integers(0, 256, size=(1, 256))
     benchmark(micro_model.forward, ids)

@@ -1,0 +1,261 @@
+"""Headless microbenchmark runner tracking the perf trajectory across PRs.
+
+Runs the hot-path components (decode loop, cache gather/append, score
+updates, top-k selection) under ``time.perf_counter`` and writes a JSON
+report — by default ``BENCH_micro.json`` in the repository root — mapping
+component name to median seconds.  Unlike the pytest-benchmark suite this
+needs no plugins and produces machine-readable output, so successive PRs can
+compare numbers directly:
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke          # CI subset
+    PYTHONPATH=src python benchmarks/run_bench.py --compare old.json
+
+``--compare`` embeds the old report as ``baseline`` and records per-component
+speedups (old median / new median).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import KeyformerConfig
+from repro.core.keyformer import KeyformerPolicy
+from repro.core.policies import H2OPolicy, mixed_topk_selection
+from repro.core.registry import make_policy
+from repro.generation.generator import Generator
+from repro.generation.sampler import GreedySampler
+from repro.kvcache.cache import LayerKVCache
+from repro.models.config import GenerationConfig, ModelConfig
+from repro.models.tensor_ops import softmax
+from repro.models.transformer import DecoderLM
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_micro.json"
+
+# Long enough that per-token decode cost dominates scheduler noise on shared
+# machines; the prompt phase runs in untimed setup either way.
+DECODE_TOKENS = 64
+
+
+def _model(max_seq_len: int, dtype: str | None = None, **overrides) -> DecoderLM:
+    if dtype is not None and "compute_dtype" in ModelConfig.__dataclass_fields__:
+        # The seed implementation predates configurable compute dtypes; this
+        # guard lets the same script benchmark both trees.
+        overrides["compute_dtype"] = dtype
+    config = ModelConfig(
+        vocab_size=256,
+        d_model=64,
+        n_layers=4,
+        n_heads=8,
+        d_ff=256,
+        max_seq_len=max_seq_len,
+        positional="rope",
+        **overrides,
+    )
+    return DecoderLM(config, seed=0)
+
+
+def _time(setup, run, rounds: int) -> dict:
+    """Median wall-clock seconds of ``run(*setup())`` over ``rounds`` rounds."""
+    times = []
+    for _ in range(rounds):
+        args = setup() if setup is not None else ()
+        start = time.perf_counter()
+        run(*args)
+        times.append(time.perf_counter() - start)
+    return {
+        "median_s": statistics.median(times),
+        "min_s": min(times),
+        "rounds": rounds,
+    }
+
+
+def _decode_loop(model: DecoderLM, manager, next_logits: np.ndarray, n_tokens: int) -> None:
+    """The token-generation phase: ``n_tokens`` incremental decode steps."""
+    views = manager.layer_views()
+    tokens = np.argmax(next_logits[:, -1, :], axis=-1)
+    for _ in range(n_tokens):
+        logits = model.decode_step(tokens, manager.current_position, views)
+        manager.advance()
+        tokens = np.argmax(logits, axis=-1)
+
+
+def bench_decode(model: DecoderLM, policy_name: str, prompt_len: int, rounds: int) -> dict:
+    """Time only the decode loop; prompt processing happens in untimed setup."""
+    prompt = np.random.default_rng(1).integers(0, 256, size=(1, prompt_len))
+
+    def setup():
+        if policy_name == "keyformer":
+            policy = make_policy("keyformer", kv_fraction=0.5)
+        else:
+            policy = make_policy(policy_name)
+        generator = Generator(model, policy)
+        logits, manager = generator._prompt_forward(prompt, DECODE_TOKENS)
+        return (model, manager, logits, DECODE_TOKENS)
+
+    return _time(setup, _decode_loop, rounds)
+
+
+def bench_generation(model: DecoderLM, policy_name: str, prompt_len: int, rounds: int) -> dict:
+    """Time a full ``generate`` call (prompt phase + decode loop)."""
+    prompt = np.random.default_rng(1).integers(0, 256, size=prompt_len)
+    config = GenerationConfig(max_new_tokens=DECODE_TOKENS)
+
+    def setup():
+        if policy_name == "keyformer":
+            policy = make_policy("keyformer", kv_fraction=0.5)
+        else:
+            policy = make_policy(policy_name)
+        return (Generator(model, policy),)
+
+    return _time(setup, lambda g: g.generate(prompt, config, sampler=GreedySampler()), rounds)
+
+
+def bench_prompt_forward(model: DecoderLM, prompt_len: int, rounds: int) -> dict:
+    ids = np.random.default_rng(0).integers(0, 256, size=(1, prompt_len))
+    return _time(None, lambda: model.forward(ids), rounds)
+
+
+def bench_cache_gather(length: int, rounds: int) -> dict:
+    rng = np.random.default_rng(2)
+    keys = rng.normal(size=(4, 8, length, 64))
+    indices = np.sort(rng.choice(length, size=(4, 8, length // 2), replace=True), axis=-1)
+
+    def setup():
+        return (LayerKVCache.from_prompt(keys, keys.copy()),)
+
+    return _time(setup, lambda cache: cache.gather(indices), rounds)
+
+
+def bench_cache_append(length: int, n_appends: int, rounds: int) -> dict:
+    rng = np.random.default_rng(3)
+    keys = rng.normal(size=(1, 8, length, 64))
+    k = rng.normal(size=(1, 8, 64))
+
+    def setup():
+        return (LayerKVCache.from_prompt(keys, keys.copy()),)
+
+    def run(cache):
+        for i in range(n_appends):
+            cache.append(k, k, length + i)
+
+    return _time(setup, run, rounds)
+
+
+def bench_score_update(policy_cls, length: int, rounds: int) -> dict:
+    rng = np.random.default_rng(4)
+    logits = rng.normal(size=(1, 32, length))
+    probs = softmax(logits, axis=-1)
+    positions = np.broadcast_to(np.arange(length), (1, 32, length))
+
+    def setup():
+        if policy_cls is KeyformerPolicy:
+            policy = KeyformerPolicy(KeyformerConfig(kv_fraction=0.5))
+        else:
+            policy = policy_cls()
+        policy.setup(n_layers=1, n_heads=32, batch_size=1, prompt_len=2 * length, max_new_tokens=64)
+        return (policy,)
+
+    return _time(setup, lambda p: p.step_selection(0, logits, probs, positions, 1), rounds)
+
+
+def bench_mixed_topk(length: int, rounds: int) -> dict:
+    scores = np.random.default_rng(5).normal(size=(4, 32, length))
+    return _time(None, lambda: mixed_topk_selection(scores, length // 2, length // 8), rounds)
+
+
+def run_suite(smoke: bool = False) -> dict:
+    """Run every component and return ``name -> timing`` results.
+
+    The headline ``decode_*`` components run at the inference compute dtype
+    (float32 when the tree supports it — the documented deployment default);
+    the ``_f64`` variants isolate the structural slab/rotation win at the
+    bit-exact training/test dtype.
+    """
+    long_ctx = 256 if smoke else 1024
+    rounds = 2 if smoke else 3
+    decode_rounds = 3 if smoke else 5
+    fast_rounds = 3 if smoke else 7
+
+    model_small = _model(max_seq_len=1024)
+    model_long_inf = _model(max_seq_len=2 * long_ctx + 64, dtype="float32")
+    model_long_f64 = _model(max_seq_len=2 * long_ctx + 64)
+
+    components: dict[str, dict] = {}
+    components["prompt_forward_256"] = bench_prompt_forward(model_small, 256, rounds)
+    components["generation_keyformer_128"] = bench_generation(model_small, "keyformer", 128, rounds)
+    components["generation_full_128"] = bench_generation(model_small, "full", 128, rounds)
+    components[f"decode_keyformer_{long_ctx}"] = bench_decode(
+        model_long_inf, "keyformer", long_ctx, decode_rounds
+    )
+    components[f"decode_full_{long_ctx}"] = bench_decode(
+        model_long_inf, "full", long_ctx, decode_rounds
+    )
+    components[f"decode_keyformer_{long_ctx}_f64"] = bench_decode(
+        model_long_f64, "keyformer", long_ctx, decode_rounds
+    )
+    components[f"decode_full_{long_ctx}_f64"] = bench_decode(
+        model_long_f64, "full", long_ctx, decode_rounds
+    )
+    components["cache_gather_1024"] = bench_cache_gather(1024, fast_rounds)
+    components["cache_append_1024"] = bench_cache_append(1024, 64, fast_rounds)
+    if not smoke:
+        components["keyformer_score_update_1025"] = bench_score_update(
+            KeyformerPolicy, 1025, fast_rounds
+        )
+        components["h2o_score_update_1025"] = bench_score_update(H2OPolicy, 1025, fast_rounds)
+        components["mixed_topk_2048"] = bench_mixed_topk(2048, fast_rounds)
+    return components
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--smoke", action="store_true", help="fast CI subset")
+    parser.add_argument(
+        "--compare", type=Path, default=None, help="older report to embed as baseline"
+    )
+    args = parser.parse_args()
+
+    components = run_suite(smoke=args.smoke)
+
+    report = {
+        "meta": {
+            "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "smoke": args.smoke,
+            "decode_tokens": DECODE_TOKENS,
+        },
+        "components": components,
+    }
+
+    if args.compare is not None and args.compare.exists():
+        baseline = json.loads(args.compare.read_text())
+        base_components = baseline.get("components", baseline)
+        report["baseline"] = base_components
+        # Speedups compare best-observed (min) times: on shared single-core
+        # machines the minimum is robust to scheduler interference, while the
+        # median of either run can be inflated by an unlucky burst.
+        report["speedup_vs_baseline"] = {
+            name: round(base_components[name]["min_s"] / timing["min_s"], 2)
+            for name, timing in components.items()
+            if name in base_components and timing["min_s"] > 0
+        }
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\n[written to {args.output}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -66,6 +66,21 @@ def mixed_topk_selection(scores: np.ndarray, budget: int, recent_window: int) ->
     recent_window = int(min(max(recent_window, 0), budget))
     n_key = budget - recent_window
 
+    if n_key > 0 and length == budget + 1:
+        # Steady-state decode: one token was appended over budget, so exactly
+        # one old entry is evicted.  The top ``n_key`` of the ``n_key + 1``
+        # old entries are everything except the minimum — skip the
+        # argpartition + concatenate + sort pipeline entirely.  Taken only
+        # when the minimum is strict in every row: on an exact tie argmin and
+        # argpartition may evict different duplicates, and bit-parity with
+        # the reference path matters more than the fast path's savings.
+        old_region = scores[..., : length - recent_window]
+        min_vals = old_region.min(axis=-1, keepdims=True)
+        if np.count_nonzero(old_region == min_vals) == min_vals.size:
+            drop = np.argmin(old_region, axis=-1)
+            base = np.arange(length - 1)
+            return base + (base >= drop[..., None])
+
     recent_idx = np.arange(length - recent_window, length)
     recent_idx = np.broadcast_to(recent_idx, scores.shape[:-1] + (recent_window,))
 

@@ -36,11 +36,23 @@ def entropy(probabilities: np.ndarray, axis: int = -1) -> np.ndarray:
 
 
 class BaseScore:
-    """Common storage/gather logic for per-layer score accumulators."""
+    """Common storage/gather logic for per-layer score accumulators.
+
+    Accumulators live in preallocated slabs of shape ``(B, H, capacity)``
+    with a live-length cursor (mirroring the KV-cache slab layout), so the
+    per-token score update is an in-place add and eviction is an in-place
+    compaction — no concatenate-growth on the decode hot path.  The slab
+    dtype follows the contribution dtype, which is how the model's
+    ``compute_dtype`` reaches the score accumulators.
+    """
 
     def __init__(self, shared: bool = False):
         self.shared = shared
-        self._scores: dict[int, np.ndarray] = {}
+        self._slabs: dict[int, np.ndarray] = {}
+        self._lens: dict[int, int] = {}
+        # Cached flat row offsets for the gather kernel, keyed like _slabs;
+        # invalidated whenever a slab is reallocated or reordered.
+        self._offsets: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def _key(self, layer_idx: int) -> int:
@@ -48,54 +60,106 @@ class BaseScore:
 
     def reset(self) -> None:
         """Drop all accumulated state (called at the start of each sequence)."""
-        self._scores = {}
+        self._slabs = {}
+        self._lens = {}
+        self._offsets = {}
 
     def get(self, layer_idx: int) -> np.ndarray:
-        """Current accumulator for ``layer_idx`` (shape ``(B, H, L)``)."""
+        """Current accumulator for ``layer_idx`` (shape ``(B, H, L)``).
+
+        Returns a live view into the slab; it is valid until the next
+        ``_accumulate``/``gather``/``reorder`` call for this layer.
+        """
         key = self._key(layer_idx)
-        if key not in self._scores:
+        if key not in self._slabs:
             raise KeyError(f"score for layer {layer_idx} not initialized")
-        return self._scores[key]
+        return self._slabs[key][..., : self._lens[key]]
 
     def has(self, layer_idx: int) -> bool:
-        return self._key(layer_idx) in self._scores
+        return self._key(layer_idx) in self._slabs
 
     def set(self, layer_idx: int, scores: np.ndarray) -> None:
-        self._scores[self._key(layer_idx)] = np.asarray(scores, dtype=np.float64)
+        scores = np.asarray(scores)
+        if not np.issubdtype(scores.dtype, np.floating):
+            scores = scores.astype(np.float64)
+        key = self._key(layer_idx)
+        self._slabs[key] = scores.copy()
+        self._lens[key] = scores.shape[-1]
+        self._offsets.pop(key, None)
+
+    def _grow(self, key: int, needed: int) -> None:
+        slab = self._slabs[key]
+        new_cap = max(16, 2 * slab.shape[-1], needed)
+        fresh = np.empty(slab.shape[:-1] + (new_cap,), dtype=slab.dtype)
+        fresh[..., : self._lens[key]] = slab[..., : self._lens[key]]
+        self._slabs[key] = fresh
+        self._offsets.pop(key, None)
+
+    def _scale(self, layer_idx: int, factor: float) -> None:
+        """Multiply the live accumulator in place (score damping)."""
+        key = self._key(layer_idx)
+        if key in self._slabs:
+            self._slabs[key][..., : self._lens[key]] *= factor
 
     def _accumulate(self, layer_idx: int, contribution: np.ndarray) -> np.ndarray:
         """Add ``contribution`` (shape ``(B, H, L)``), growing the accumulator
         with zero-initialized slots for newly appended cache entries."""
+        contribution = np.asarray(contribution)
         key = self._key(layer_idx)
-        if key not in self._scores:
-            self._scores[key] = contribution.astype(np.float64).copy()
-            return self._scores[key]
-        current = self._scores[key]
         length = contribution.shape[-1]
-        if current.shape[-1] < length:
-            pad = np.zeros(current.shape[:-1] + (length - current.shape[-1],))
-            current = np.concatenate([current, pad], axis=-1)
-        elif current.shape[-1] > length:
+        if key not in self._slabs:
+            dtype = (
+                contribution.dtype
+                if np.issubdtype(contribution.dtype, np.floating)
+                else np.float64
+            )
+            self._slabs[key] = contribution.astype(dtype, copy=True)
+            self._lens[key] = length
+            return self.get(layer_idx)
+        current_len = self._lens[key]
+        if current_len > length:
             raise ValueError(
-                f"score length {current.shape[-1]} exceeds contribution length {length}; "
+                f"score length {current_len} exceeds contribution length {length}; "
                 "cache and score are out of sync"
             )
-        current = current + contribution
-        self._scores[key] = current
-        return current
+        if length > self._slabs[key].shape[-1]:
+            self._grow(key, length)
+        if current_len < length:
+            self._slabs[key][..., current_len:length] = 0.0
+            self._lens[key] = length
+        self._slabs[key][..., :length] += contribution
+        return self.get(layer_idx)
 
     def gather(self, layer_idx: int, indices: np.ndarray) -> None:
-        """Keep only the accumulator entries selected by ``indices`` (B, H, K)."""
+        """Keep only the accumulator entries selected by ``indices`` (B, H, K).
+
+        Compacts the slab in place; an identity selection is a no-op.
+        """
         key = self._key(layer_idx)
-        if key not in self._scores:
+        if key not in self._slabs:
             return
-        self._scores[key] = np.take_along_axis(self._scores[key], indices, axis=-1)
+        indices = np.asarray(indices)
+        length = self._lens[key]
+        k = indices.shape[-1]
+        if k == length and bool((indices == np.arange(length)).all()):
+            return
+        slab = self._slabs[key]
+        n_rows = int(np.prod(slab.shape[:-1]))
+        offsets = self._offsets.get(key)
+        if offsets is None:
+            offsets = (np.arange(n_rows) * slab.shape[-1])[:, None]
+            self._offsets[key] = offsets
+        # Flattened row-gather (much cheaper than take_along_axis per step).
+        gidx = (offsets + indices.reshape(n_rows, k)).reshape(-1)
+        slab[..., :k] = slab.reshape(-1).take(gidx).reshape(slab.shape[:-1] + (k,))
+        self._lens[key] = k
 
     def reorder(self, batch_indices: np.ndarray) -> None:
         """Reorder the batch/beam dimension of every accumulator (beam search)."""
         batch_indices = np.asarray(batch_indices, dtype=np.int64)
-        for key, scores in self._scores.items():
-            self._scores[key] = scores[batch_indices]
+        for key, slab in self._slabs.items():
+            self._slabs[key] = slab[batch_indices]
+        self._offsets = {}
 
 
 class AccumulatedAttentionScore(BaseScore):
@@ -133,9 +197,8 @@ class AccumulatedAttentionScore(BaseScore):
         step: int = 0,
     ) -> np.ndarray:
         """Accumulate one decoding step's attention probabilities ``(B, H, L)``."""
-        key = self._key(layer_idx)
-        if self.damping < 1.0 and key in self._scores:
-            self._scores[key] = self._scores[key] * self.damping
+        if self.damping < 1.0:
+            self._scale(layer_idx, self.damping)
         return self._accumulate(layer_idx, probs)
 
 
@@ -220,14 +283,20 @@ class KeyformerScore(BaseScore):
         ``fixed`` mode token ``i`` always receives the same ζ_i, indexed by its
         original position.
         """
-        logits = np.asarray(logits, dtype=np.float64)
+        logits = np.asarray(logits)
+        if not np.issubdtype(logits.dtype, np.floating):
+            logits = logits.astype(np.float64)
         if self.resample == "per-step":
             zeta = self.noise.sample(logits.size, self.rng).reshape(logits.shape)
         elif positions is None:
             zeta = self.zeta[: logits.shape[-1]]
         else:
             zeta = self._zeta_for(positions)
-        adjusted = np.where(np.isfinite(logits), (logits + zeta) / tau, -np.inf)
+        zeta = np.asarray(zeta, dtype=logits.dtype)
+        # Masked entries are exactly -inf and the noise is finite, so
+        # (-inf + zeta) / tau == -inf without an explicit isfinite mask.
+        adjusted = logits + zeta
+        adjusted /= tau
         return softmax(adjusted, axis=-1)
 
     # ------------------------------------------------------------------
@@ -266,8 +335,7 @@ class KeyformerScore(BaseScore):
     ) -> np.ndarray:
         """Decoding-step accumulation using the step's unnormalized logits."""
         tau = self.tau_schedule(step)
-        key = self._key(layer_idx)
-        if self.damping < 1.0 and key in self._scores:
-            self._scores[key] = self._scores[key] * self.damping
+        if self.damping < 1.0:
+            self._scale(layer_idx, self.damping)
         contribution = self.noisy_softmax(logits, positions, tau)
         return self._accumulate(layer_idx, contribution)

@@ -95,12 +95,13 @@ class BeamSearch:
                     beam_alive[i] = False
 
         n_steps = 0
+        layer_views = manager.layer_views()
         for step in range(1, config.max_new_tokens):
             if not beam_alive.any():
                 break
             current = np.asarray([seq[-1] for seq in beam_tokens], dtype=np.int64)
             next_logits = self.model.decode_step(
-                current, manager.current_position, manager.layer_views()
+                current, manager.current_position, layer_views
             )
             manager.advance()
             n_steps += 1

@@ -74,12 +74,15 @@ class Generator:
             prompt_attn.append(block.attn.last_attention)
             prompt_logits.append(block.attn.last_scores)
 
+        config = self.model.config
         manager = CacheManager(
             self.policy,
-            n_layers=self.model.config.n_layers,
-            n_heads=self.model.config.n_heads,
-            d_head=self.model.config.d_head,
+            n_layers=config.n_layers,
+            n_heads=config.n_heads,
+            d_head=config.d_head,
             positional_mode=self.positional_mode,
+            dtype=config.np_dtype,
+            rope_dims=config.rope_dims if config.positional == "rope" else 0,
         )
         manager.initialize_from_prompt(prompt_kv, prompt_attn, prompt_logits, max_new_tokens)
         return logits, manager
@@ -115,6 +118,9 @@ class Generator:
 
         logits, manager = self._prompt_forward(prompt, config.max_new_tokens)
         next_logits = logits[:, -1, :]
+        # The per-layer cache views are stateless facades; build them once and
+        # reuse them every step instead of reallocating view objects per token.
+        layer_views = manager.layer_views()
 
         sequences: list[list[int]] = [[] for _ in range(batch_size)]
         finished = np.zeros(batch_size, dtype=bool)
@@ -135,7 +141,7 @@ class Generator:
                 break
 
             next_logits = self.model.decode_step(
-                tokens, manager.current_position, manager.layer_views()
+                tokens, manager.current_position, layer_views
             )
             manager.advance()
             tokens = sampler(next_logits)
@@ -168,6 +174,7 @@ class Generator:
 
         logits, manager = self._prompt_forward(prompt, max_new_tokens=len(continuation))
         next_logits = logits[:, -1, :]
+        layer_views = manager.layer_views()
         total = 0.0
         for i, token in enumerate(continuation):
             logprobs = log_softmax(next_logits, axis=-1)
@@ -175,7 +182,7 @@ class Generator:
             if i == len(continuation) - 1:
                 break
             next_logits = self.model.decode_step(
-                np.asarray([token]), manager.current_position, manager.layer_views()
+                np.asarray([token]), manager.current_position, layer_views
             )
             manager.advance()
         return total

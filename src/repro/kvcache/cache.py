@@ -1,4 +1,4 @@
-"""Per-layer key/value cache storage.
+"""Per-layer key/value cache storage backed by preallocated slabs.
 
 Keys are stored *unrotated* (before RoPE) together with the original position
 of every token, so the attention step can apply either the original positional
@@ -7,22 +7,71 @@ information (Keyformer (Org Pos)) or a contiguous renumbering
 attention head, every head of a layer may retain a different set of tokens:
 the storage layout is ``(batch, heads, length, d_head)`` with per-head
 position arrays.
+
+Each tensor (keys, values, positions and — when ``rope_dims > 0`` — rotated
+keys) lives in its own preallocated slab of shape
+``(batch, heads, capacity, d_head)`` with a shared live-length cursor:
+``append`` is an in-place write (amortized O(1), capacity doubles when
+exhausted) and ``gather`` compacts the live prefix in place with a flattened
+row-gather, so the per-token cost of incremental decoding never pays a
+full-cache reallocation.  Keeping the slabs separate (rather than fusing
+them) preserves a contiguous token axis, which the attention einsum's memory
+locality depends on.  The rotated-key slab holds keys rotated by their
+original positions: new entries are rotated once on first use and eviction
+compacts the rotated slab with the same indices, eliminating the per-step
+O(L) re-rotation of unchanged keys.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.models.positional import RopeTable, get_rope_table
+
 __all__ = ["LayerKVCache"]
+
+_MIN_CAPACITY = 16
 
 
 class LayerKVCache:
-    """Key/value storage for one decoder layer."""
+    """Key/value storage for one decoder layer.
 
-    def __init__(self, keys: np.ndarray, values: np.ndarray, positions: np.ndarray):
-        keys = np.asarray(keys, dtype=np.float64)
-        values = np.asarray(values, dtype=np.float64)
+    Parameters
+    ----------
+    keys, values:
+        Initial contents of shape ``(batch, heads, length, d_head)``.
+    positions:
+        Original token positions of shape ``(batch, heads, length)``.
+    dtype:
+        Storage/compute dtype; defaults to the dtype of ``keys`` when it is a
+        floating type, otherwise ``float64``.
+    capacity:
+        Initial slab capacity (number of token slots).  Defaults to the
+        initial length; the slab doubles whenever ``append`` runs out of room.
+    rope_dims:
+        When positive, maintain a rotated-key slab (RoPE applied at original
+        positions) alongside the raw keys.
+    rope_table:
+        Optional shared :class:`RopeTable`; defaults to the process-wide table
+        for ``rope_dims``.
+    """
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        positions: np.ndarray,
+        dtype: np.dtype | str | None = None,
+        capacity: int | None = None,
+        rope_dims: int = 0,
+        rope_table: RopeTable | None = None,
+    ):
+        keys = np.asarray(keys)
+        values = np.asarray(values)
         positions = np.asarray(positions, dtype=np.int64)
+        if dtype is None:
+            dtype = keys.dtype if np.issubdtype(keys.dtype, np.floating) else np.float64
+        self.dtype = np.dtype(dtype)
         if keys.shape != values.shape:
             raise ValueError(f"keys/values shape mismatch: {keys.shape} vs {values.shape}")
         if keys.ndim != 4:
@@ -31,88 +80,221 @@ class LayerKVCache:
             raise ValueError(
                 f"positions shape {positions.shape} must match {keys.shape[:3]}"
             )
-        self.keys = keys
-        self.values = values
-        self.positions = positions
-        self.total_appended = keys.shape[2]
+
+        self.rope_dims = int(rope_dims)
+        self._rope_table = rope_table
+        if self.rope_dims > 0 and rope_table is None:
+            self._rope_table = get_rope_table(self.rope_dims)
+
+        b, h, t, d = keys.shape
+        cap = max(int(capacity) if capacity is not None else t, t)
+        self._k = np.empty((b, h, cap, d), dtype=self.dtype)
+        self._v = np.empty((b, h, cap, d), dtype=self.dtype)
+        self._pos = np.empty((b, h, cap), dtype=np.int64)
+        self._k[:, :, :t] = keys
+        self._v[:, :, :t] = values
+        self._pos[:, :, :t] = positions
+        self._len = t
+        self._k_rot = (
+            np.empty((b, h, cap, d), dtype=self.dtype) if self.rope_dims > 0 else None
+        )
+        #: Number of leading live entries whose rotated form is up to date.
+        self._rot_len = 0
+        # True when the stale region [_rot_len, _len) consists purely of
+        # appended tokens (each written at one scalar position across batch
+        # and heads) — enables the uniform-rotation fast path.
+        self._stale_is_append = False
+        self._last_append_pos = 0
+        # Per-instance caches for per-step allocations (row offsets of the
+        # flattened gather, read-only position view); invalidated on mutation.
+        self._row_offsets: np.ndarray | None = None
+        self._pos_ro: np.ndarray | None = None
+
+        self.total_appended = t
         self.total_evicted = 0
 
     # ------------------------------------------------------------------
     @classmethod
     def from_prompt(
-        cls, keys: np.ndarray, values: np.ndarray, positions: np.ndarray | None = None
+        cls,
+        keys: np.ndarray,
+        values: np.ndarray,
+        positions: np.ndarray | None = None,
+        **kwargs,
     ) -> "LayerKVCache":
         """Build a cache from prompt-phase keys/values of shape ``(B, H, T, d)``.
 
         ``positions`` defaults to ``0..T-1`` replicated across batch and heads.
+        Extra keyword arguments (``dtype``, ``capacity``, ``rope_dims``, ...)
+        are forwarded to the constructor.
         """
-        keys = np.asarray(keys, dtype=np.float64)
+        keys = np.asarray(keys)
         b, h, t, _ = keys.shape
         if positions is None:
             positions = np.arange(t)
         positions = np.asarray(positions, dtype=np.int64)
         if positions.ndim == 1:
-            positions = np.broadcast_to(positions, (b, h, t)).copy()
-        return cls(keys, np.asarray(values, dtype=np.float64), positions)
+            positions = np.broadcast_to(positions, (b, h, t))
+        return cls(keys, np.asarray(values), positions, **kwargs)
 
     @classmethod
-    def empty(cls, batch_size: int, n_heads: int, d_head: int) -> "LayerKVCache":
+    def empty(cls, batch_size: int, n_heads: int, d_head: int, **kwargs) -> "LayerKVCache":
         """An empty cache (used when decoding starts without a prompt)."""
         return cls(
             np.zeros((batch_size, n_heads, 0, d_head)),
             np.zeros((batch_size, n_heads, 0, d_head)),
             np.zeros((batch_size, n_heads, 0), dtype=np.int64),
+            **kwargs,
         )
 
     # ------------------------------------------------------------------
     @property
+    def keys(self) -> np.ndarray:
+        """Live (unrotated) keys, shape ``(B, H, L, d)`` — a view of the slab."""
+        return self._k[:, :, : self._len]
+
+    @property
+    def values(self) -> np.ndarray:
+        """Live values, shape ``(B, H, L, d)`` — a view of the slab."""
+        return self._v[:, :, : self._len]
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Live original positions, shape ``(B, H, L)`` — a view of the slab."""
+        return self._pos[:, :, : self._len]
+
+    @property
     def batch_size(self) -> int:
-        return self.keys.shape[0]
+        return self._k.shape[0]
 
     @property
     def n_heads(self) -> int:
-        return self.keys.shape[1]
+        return self._k.shape[1]
 
     @property
     def length(self) -> int:
         """Number of cached tokens (per head)."""
-        return self.keys.shape[2]
+        return self._len
+
+    @property
+    def capacity(self) -> int:
+        """Allocated token slots in the slab."""
+        return self._k.shape[2]
 
     @property
     def d_head(self) -> int:
-        return self.keys.shape[3]
+        return self._k.shape[3]
 
     def __len__(self) -> int:
-        return self.length
+        return self._len
 
     def nbytes(self, dtype_bytes: int = 2) -> int:
         """Size of the cached keys+values if stored with ``dtype_bytes`` per scalar
         (2 bytes = fp16, matching deployment practice)."""
-        return 2 * self.keys.shape[0] * self.keys.shape[1] * self.length * self.d_head * dtype_bytes
+        return 2 * self.batch_size * self.n_heads * self._len * self.d_head * dtype_bytes
 
     # ------------------------------------------------------------------
+    def _grow(self, needed: int) -> None:
+        new_cap = max(_MIN_CAPACITY, 2 * self.capacity, needed)
+        b, h, _, d = self._k.shape
+
+        def grown(slab: np.ndarray, trailing: tuple[int, ...]) -> np.ndarray:
+            fresh = np.empty((b, h, new_cap) + trailing, dtype=slab.dtype)
+            fresh[:, :, : self._len] = slab[:, :, : self._len]
+            return fresh
+
+        self._k = grown(self._k, (d,))
+        self._v = grown(self._v, (d,))
+        self._pos = grown(self._pos, ())
+        if self._k_rot is not None:
+            self._k_rot = grown(self._k_rot, (d,))
+        self._row_offsets = None
+        self._pos_ro = None
+
     def append(self, k: np.ndarray, v: np.ndarray, position: int) -> None:
         """Append the key/value of a new token at original position ``position``.
 
-        ``k`` and ``v`` have shape ``(batch, heads, d_head)``.
+        ``k`` and ``v`` have shape ``(batch, heads, d_head)``.  This is an
+        in-place slab write; the slab doubles when capacity is exhausted.
         """
-        k = np.asarray(k, dtype=np.float64)
-        v = np.asarray(v, dtype=np.float64)
-        if k.shape != (self.batch_size, self.n_heads, self.d_head):
-            raise ValueError(
-                f"append expects shape {(self.batch_size, self.n_heads, self.d_head)}, got {k.shape}"
-            )
-        self.keys = np.concatenate([self.keys, k[:, :, None, :]], axis=2)
-        self.values = np.concatenate([self.values, v[:, :, None, :]], axis=2)
-        new_pos = np.full((self.batch_size, self.n_heads, 1), int(position), dtype=np.int64)
-        self.positions = np.concatenate([self.positions, new_pos], axis=2)
+        k = np.asarray(k)
+        v = np.asarray(v)
+        expected = (self.batch_size, self.n_heads, self.d_head)
+        if k.shape != expected:
+            raise ValueError(f"append expects shape {expected}, got {k.shape}")
+        if v.shape != expected:
+            raise ValueError(f"append expects value shape {expected}, got {v.shape}")
+        if self._len == self.capacity:
+            self._grow(self._len + 1)
+        if self._rot_len == self._len:
+            # Stale region was empty, so it now holds only this append.
+            self._stale_is_append = True
+        self._k[:, :, self._len] = k
+        self._v[:, :, self._len] = v
+        self._pos[:, :, self._len] = int(position)
+        self._last_append_pos = int(position)
+        self._len += 1
+        self._pos_ro = None
         self.total_appended += 1
+
+    # ------------------------------------------------------------------
+    def rotated_keys(self) -> np.ndarray:
+        """Live keys rotated by their *original* positions, shape ``(B, H, L, d)``.
+
+        Maintained incrementally: only entries appended (or invalidated) since
+        the last call are rotated, so steady-state decoding rotates one token
+        per step instead of the whole cache.
+        """
+        if self._k_rot is None:
+            raise RuntimeError("rotated-key cache disabled (rope_dims == 0)")
+        if self._rot_len < self._len:
+            stale = slice(self._rot_len, self._len)
+            if self._stale_is_append and self._len - self._rot_len == 1:
+                # Steady state: exactly the just-appended token is stale, and
+                # append writes one scalar position across batch and heads.
+                self._k_rot[:, :, stale] = self._rope_table.rotate_uniform(
+                    self._k[:, :, stale], self._last_append_pos
+                )
+            else:
+                self._k_rot[:, :, stale] = self._rope_table.rotate(
+                    self._k[:, :, stale], self._pos[:, :, stale]
+                )
+            self._rot_len = self._len
+            self._stale_is_append = False
+        return self._k_rot[:, :, : self._len]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_identity(indices: np.ndarray, length: int) -> bool:
+        if indices.shape[-1] != length:
+            return False
+        return bool((indices == np.arange(length)).all())
+
+    def _compact(self, slab: np.ndarray, gidx: np.ndarray, k: int) -> None:
+        """Write the entries selected by flat row-gather indices ``gidx`` into
+        ``slab[:, :, :k]`` in place.
+
+        Uses a flattened ``np.take`` (row gather on a 2-D view) instead of
+        ``np.take_along_axis``: the same copy with an order of magnitude less
+        indexing overhead, which matters when eviction runs every step.  The
+        gather materializes before the write-back, so compacting the slab onto
+        its own prefix is safe.
+        """
+        b, h = slab.shape[0], slab.shape[1]
+        if slab.ndim == 4:
+            flat = slab.reshape(b * h * self.capacity, slab.shape[3])
+            taken = flat.take(gidx, axis=0)
+            slab[:, :, :k] = taken.reshape(b, h, k, slab.shape[3])
+        else:
+            flat = slab.reshape(b * h * self.capacity)
+            slab[:, :, :k] = flat.take(gidx).reshape(b, h, k)
 
     def gather(self, indices: np.ndarray) -> None:
         """Retain only the entries selected by ``indices`` of shape ``(B, H, K)``.
 
         Indices must be sorted ascending per head so chronological order inside
-        the cache is preserved.
+        the cache is preserved.  Compaction happens in place inside the slabs;
+        an identity selection (nothing evicted) is a no-op.
         """
         indices = np.asarray(indices, dtype=np.int64)
         if indices.ndim == 1:
@@ -122,12 +304,32 @@ class LayerKVCache:
                 f"indices shape {indices.shape} incompatible with cache "
                 f"({self.batch_size}, {self.n_heads}, ...)"
             )
-        if indices.size and (indices.min() < 0 or indices.max() >= self.length):
+        if indices.size and (indices.min() < 0 or indices.max() >= self._len):
             raise IndexError("gather indices out of range")
-        evicted = self.length - indices.shape[-1]
-        self.keys = np.take_along_axis(self.keys, indices[..., None], axis=2)
-        self.values = np.take_along_axis(self.values, indices[..., None], axis=2)
-        self.positions = np.take_along_axis(self.positions, indices, axis=2)
+        if self._is_identity(indices, self._len):
+            return
+        k = indices.shape[-1]
+        n_rows = self.batch_size * self.n_heads
+        if self._row_offsets is None:
+            self._row_offsets = (np.arange(n_rows) * self.capacity)[:, None]
+        gidx = (self._row_offsets + indices.reshape(n_rows, k)).reshape(-1)
+        self._compact(self._k, gidx, k)
+        self._compact(self._v, gidx, k)
+        self._compact(self._pos, gidx, k)
+        if self._k_rot is not None:
+            if self._rot_len == self._len:
+                # Rotation depends only on the (preserved) original position,
+                # so a fully valid rotated slab stays valid under compaction.
+                self._compact(self._k_rot, gidx, k)
+                self._rot_len = k
+            else:
+                # Partially rotated: recompute lazily over gathered entries,
+                # whose per-head positions are no longer uniform.
+                self._rot_len = 0
+                self._stale_is_append = False
+        evicted = self._len - k
+        self._len = k
+        self._pos_ro = None
         self.total_evicted += max(evicted, 0)
 
     def reorder(self, batch_indices: np.ndarray) -> None:
@@ -137,16 +339,31 @@ class LayerKVCache:
             batch_indices.min() < 0 or batch_indices.max() >= self.batch_size
         ):
             raise IndexError("reorder indices out of range")
-        self.keys = self.keys[batch_indices]
-        self.values = self.values[batch_indices]
-        self.positions = self.positions[batch_indices]
+        self._k = self._k[batch_indices]
+        self._v = self._v[batch_indices]
+        self._pos = self._pos[batch_indices]
+        if self._k_rot is not None:
+            self._k_rot = self._k_rot[batch_indices]
+        self._row_offsets = None
+        self._pos_ro = None
 
     # ------------------------------------------------------------------
     def retained_original_positions(self) -> np.ndarray:
-        """Original positions of the retained tokens, shape ``(B, H, L)``."""
-        return self.positions.copy()
+        """Original positions of the retained tokens, shape ``(B, H, L)``.
+
+        Returns a **read-only view** into the slab: valid until the next
+        ``append``/``gather``/``reorder``; copy it to keep it longer.
+        """
+        if self._pos_ro is None:
+            view = self._pos[:, :, : self._len]
+            view.flags.writeable = False
+            self._pos_ro = view
+        return self._pos_ro
 
     def renumbered_positions(self) -> np.ndarray:
-        """Contiguous 0..L-1 positions (Keyformer (New Pos) mode), shape ``(B, H, L)``."""
-        idx = np.arange(self.length)
-        return np.broadcast_to(idx, (self.batch_size, self.n_heads, self.length)).copy()
+        """Contiguous 0..L-1 positions (Keyformer (New Pos) mode), shape ``(B, H, L)``.
+
+        Returns a read-only broadcast view (no per-call allocation).
+        """
+        idx = np.arange(self._len)
+        return np.broadcast_to(idx, (self.batch_size, self.n_heads, self._len))

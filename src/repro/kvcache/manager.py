@@ -35,7 +35,9 @@ class LayerCacheView:
     def append(self, k: np.ndarray, v: np.ndarray) -> None:
         self.manager.append(self.layer_idx, k, v)
 
-    def attention_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    def attention_view(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
         return self.manager.attention_view(self.layer_idx)
 
     def observe(self, logits: np.ndarray, probs: np.ndarray) -> None:
@@ -43,7 +45,18 @@ class LayerCacheView:
 
 
 class CacheManager:
-    """Owns per-layer KV caches and drives one eviction policy."""
+    """Owns per-layer KV caches and drives one eviction policy.
+
+    Parameters
+    ----------
+    dtype:
+        Storage/compute dtype of the KV slabs (default ``float64``; the
+        model's ``compute_dtype`` is plumbed through here by the generator).
+    rope_dims:
+        When positive and ``positional_mode == "original"``, per-layer caches
+        maintain incrementally updated *rotated* keys so the attention step
+        never re-rotates unchanged cache entries.
+    """
 
     def __init__(
         self,
@@ -52,6 +65,8 @@ class CacheManager:
         n_heads: int,
         d_head: int,
         positional_mode: str | None = None,
+        dtype: np.dtype | str | None = None,
+        rope_dims: int = 0,
     ):
         self.policy = policy
         self.n_layers = n_layers
@@ -60,12 +75,24 @@ class CacheManager:
         self.positional_mode = positional_mode or policy.config.positional_mode
         if self.positional_mode not in ("original", "new"):
             raise ValueError(f"unknown positional mode {self.positional_mode!r}")
+        self.dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+        # Rotated-key caching is only sound when rotations are keyed to the
+        # (stable) original positions; renumbered mode re-rotates per step.
+        self.rope_dims = int(rope_dims) if self.positional_mode == "original" else 0
         self.caches: list[LayerKVCache] = []
         self.stats = CacheStats(n_layers=n_layers, n_heads=n_heads, d_head=d_head)
         self.prompt_len = 0
         self.generation_step = 0
         self.current_position = 0
         self._step_lengths: list[int] = []
+        self._qpos_array: np.ndarray | None = None
+
+    def _make_cache_kwargs(self, max_new_tokens: int, initial_len: int) -> dict:
+        return {
+            "dtype": self.dtype,
+            "capacity": initial_len + max_new_tokens + 1,
+            "rope_dims": self.rope_dims,
+        }
 
     # ------------------------------------------------------------------
     # prompt phase
@@ -97,6 +124,7 @@ class CacheManager:
         self.prompt_len = prompt_len
         self.generation_step = 0
         self.current_position = prompt_len  # original position of the next token
+        self._qpos_array = None
         self.stats = CacheStats(
             n_layers=self.n_layers,
             n_heads=self.n_heads,
@@ -107,8 +135,10 @@ class CacheManager:
 
         self.policy.setup(self.n_layers, self.n_heads, batch_size, prompt_len, max_new_tokens)
 
+        cache_kwargs = self._make_cache_kwargs(max_new_tokens, prompt_len)
         self.caches = [
-            LayerKVCache.from_prompt(keys, values) for keys, values in prompt_kv
+            LayerKVCache.from_prompt(keys, values, **cache_kwargs)
+            for keys, values in prompt_kv
         ]
         self.stats.total_appended += prompt_len * self.n_layers
 
@@ -133,9 +163,11 @@ class CacheManager:
         self.prompt_len = 0
         self.generation_step = 0
         self.current_position = 0
+        self._qpos_array = None
         self.policy.setup(self.n_layers, self.n_heads, batch_size, max(prompt_len, 1), max_new_tokens)
+        cache_kwargs = self._make_cache_kwargs(max_new_tokens, 0)
         self.caches = [
-            LayerKVCache.empty(batch_size, self.n_heads, self.d_head)
+            LayerKVCache.empty(batch_size, self.n_heads, self.d_head, **cache_kwargs)
             for _ in range(self.n_layers)
         ]
         self.stats = CacheStats(
@@ -165,16 +197,32 @@ class CacheManager:
 
     def attention_view(
         self, layer_idx: int
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
+        """``(keys, values, key_positions, query_positions, keys_rotated)``.
+
+        With rotated-key caching active, ``keys`` are already RoPE-rotated at
+        their original positions (``keys_rotated=True``) and the attention
+        step skips its own key rotation.
+        """
         cache = self.caches[layer_idx]
+        keys_rotated = False
         if self.positional_mode == "original":
             key_positions = cache.retained_original_positions()
-            query_positions = np.asarray(self.current_position)
+            if self._qpos_array is None:
+                # One array per decoding step, shared by every layer.
+                self._qpos_array = np.asarray(self.current_position)
+            query_positions = self._qpos_array
+            if self.rope_dims > 0:
+                keys = cache.rotated_keys()
+                keys_rotated = True
+            else:
+                keys = cache.keys
         else:
+            keys = cache.keys
             key_positions = cache.renumbered_positions()
             query_positions = np.asarray(cache.length - 1)
         self._step_lengths.append(cache.length)
-        return cache.keys, cache.values, key_positions, query_positions
+        return keys, cache.values, key_positions, query_positions, keys_rotated
 
     def observe(self, layer_idx: int, logits: np.ndarray, probs: np.ndarray) -> None:
         cache = self.caches[layer_idx]
@@ -200,6 +248,7 @@ class CacheManager:
             self._step_lengths = []
         self.generation_step += 1
         self.current_position += 1
+        self._qpos_array = None
 
     def reorder(self, batch_indices: np.ndarray) -> None:
         """Reorder the batch/beam dimension of every cache and of the policy state."""

@@ -19,6 +19,7 @@ from repro.models.layers import Linear, Module
 from repro.models.positional import (
     alibi_bias_matrix,
     alibi_bias_step,
+    get_rope_table,
     rope_rotate,
     rope_rotate_backward,
 )
@@ -37,6 +38,9 @@ class MultiHeadAttention(Module):
         self.d_model = config.d_model
         self.positional = config.positional
         self.rope_dims = config.rope_dims if config.positional == "rope" else 0
+        # Shared precomputed cos/sin table: decode-path rotations become
+        # lookups instead of per-step transcendental evaluations.
+        self._rope_table = get_rope_table(self.rope_dims) if self.rope_dims > 0 else None
 
         self.w_q = Linear(config.d_model, config.d_model, rng, config.init_std)
         self.w_k = Linear(config.d_model, config.d_model, rng, config.init_std)
@@ -100,8 +104,8 @@ class MultiHeadAttention(Module):
 
         if self.positional == "rope":
             pos_bh = positions if positions.ndim == 1 else positions[:, None, :]
-            q_rot = rope_rotate(q, pos_bh, self.rope_dims)
-            k_rot = rope_rotate(k_raw, pos_bh, self.rope_dims)
+            q_rot = rope_rotate(q, pos_bh, self.rope_dims, table=self._rope_table)
+            k_rot = rope_rotate(k_raw, pos_bh, self.rope_dims, table=self._rope_table)
         else:
             q_rot, k_rot = q, k_raw
 
@@ -194,6 +198,7 @@ class MultiHeadAttention(Module):
         values: np.ndarray,
         query_positions: np.ndarray | int,
         key_positions: np.ndarray,
+        keys_rotated: bool = False,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Attend a single query token over cached keys/values.
 
@@ -202,12 +207,15 @@ class MultiHeadAttention(Module):
         q:
             Query of shape ``(batch, n_heads, d_head)`` (unrotated).
         keys, values:
-            Cached tensors of shape ``(batch, n_heads, L, d_head)``; keys are
-            unrotated.
+            Cached tensors of shape ``(batch, n_heads, L, d_head)``.
         query_positions:
             Position index of the query token (scalar or ``(batch,)``).
         key_positions:
             Positions of the cached keys, shape ``(batch, n_heads, L)``.
+        keys_rotated:
+            When true, ``keys`` already carry RoPE at ``key_positions`` (the
+            KV cache maintains rotated keys incrementally) and only the query
+            is rotated here — the per-step O(L) key re-rotation disappears.
 
         Returns
         -------
@@ -221,20 +229,43 @@ class MultiHeadAttention(Module):
         query_positions = np.asarray(query_positions)
 
         if self.positional == "rope":
-            q_pos = query_positions if query_positions.ndim else query_positions[None]
-            q_pos = np.broadcast_to(q_pos, (b,))
-            q_rot = rope_rotate(q, q_pos[:, None], self.rope_dims)
-            k_rot = rope_rotate(keys, key_positions, self.rope_dims)
+            if self._rope_table is not None and query_positions.ndim == 0:
+                # Steady-state decode: one scalar query position.
+                q_rot = self._rope_table.rotate_uniform(q, int(query_positions))
+            else:
+                q_pos = query_positions if query_positions.ndim else query_positions[None]
+                if q_pos.shape != (b,):
+                    q_pos = np.broadcast_to(q_pos, (b,))
+                if self._rope_table is not None:
+                    q_rot = self._rope_table.rotate(q, q_pos[:, None])
+                else:
+                    q_rot = rope_rotate(q, q_pos[:, None], self.rope_dims)
+            if keys_rotated:
+                k_rot = keys
+            elif self._rope_table is not None:
+                k_rot = self._rope_table.rotate(keys, key_positions)
+            else:
+                k_rot = rope_rotate(keys, key_positions, self.rope_dims)
         else:
             q_rot, k_rot = q, keys
 
         scale = 1.0 / np.sqrt(self.d_head)
-        logits = np.einsum("bhd,bhld->bhl", q_rot, k_rot) * scale
+        if q_rot.dtype == np.float64:
+            # float64 is the bit-parity dtype: keep einsum's exact reduction
+            # order so generation stays token-identical with the reference.
+            logits = np.einsum("bhd,bhld->bhl", q_rot, k_rot) * scale
+        else:
+            # float32 inference runs within a documented tolerance, so use the
+            # (much faster) BLAS batched matmul kernel.
+            logits = (q_rot[:, :, None, :] @ k_rot.swapaxes(-1, -2))[:, :, 0, :] * scale
 
         if self.positional == "alibi":
             logits = logits + alibi_bias_step(self.n_heads, query_positions, key_positions)
 
         probs = ops.softmax(logits, axis=-1)
-        ctx = np.einsum("bhl,bhld->bhd", probs, values)
+        if probs.dtype == np.float64:
+            ctx = np.einsum("bhl,bhld->bhd", probs, values)
+        else:
+            ctx = (probs[:, :, None, :] @ values)[:, :, 0, :]
         out = self.w_o(ctx.reshape(b, self.d_model))
         return out, logits, probs

@@ -25,8 +25,15 @@ class LayerDecodeCache(Protocol):
     def append(self, k: np.ndarray, v: np.ndarray) -> None:
         """Store the key/value of the newly produced token."""
 
-    def attention_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Return ``(keys, values, key_positions, query_positions)``."""
+    def attention_view(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
+        """Return ``(keys, values, key_positions, query_positions, keys_rotated)``.
+
+        ``keys_rotated`` signals that ``keys`` already carry RoPE at the given
+        key positions (incrementally maintained by the cache), so the
+        attention step must not rotate them again.
+        """
 
     def observe(self, logits: np.ndarray, probs: np.ndarray) -> None:
         """Feed attention logits/probabilities to the eviction policy."""
@@ -81,9 +88,11 @@ class DecoderBlock(Module):
         a_in = self.ln_attn(x)
         q, k, v = self.attn.project_qkv(a_in)
         layer_cache.append(k, v)
-        keys, values, key_positions, query_positions = layer_cache.attention_view()
+        keys, values, key_positions, query_positions, keys_rotated = (
+            layer_cache.attention_view()
+        )
         attn_out, logits, probs = self.attn.attend_step(
-            q, keys, values, query_positions, key_positions
+            q, keys, values, query_positions, key_positions, keys_rotated=keys_rotated
         )
         layer_cache.observe(logits, probs)
         x = x + attn_out

@@ -55,6 +55,17 @@ class Module:
         for _, child in self.submodules():
             child.zero_grad()
 
+    def to_dtype(self, dtype: np.dtype | str) -> "Module":
+        """Cast all parameters and gradients (recursively) to ``dtype`` in place."""
+        dtype = np.dtype(dtype)
+        for name, param in self.params.items():
+            self.params[name] = param.astype(dtype, copy=False)
+        for name, grad in self.grads.items():
+            self.grads[name] = grad.astype(dtype, copy=False)
+        for _, child in self.submodules():
+            child.to_dtype(dtype)
+        return self
+
     def n_parameters(self) -> int:
         """Total number of scalar parameters in this module tree."""
         return sum(p.size for _, p in self.named_parameters())
@@ -97,7 +108,9 @@ class Linear(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Apply the projection; caches the input for the backward pass."""
         self._x = x
-        return x @ self.params["W"] + self.params["b"]
+        out = x @ self.params["W"]
+        out += self.params["b"]
+        return out
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)

@@ -18,9 +18,13 @@ mode, §4.4.2 of the paper).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = [
+    "RopeTable",
+    "get_rope_table",
     "rope_rotate",
     "rope_rotate_backward",
     "alibi_slopes",
@@ -43,11 +47,110 @@ def _rope_cos_sin(
     return np.cos(angles), np.sin(angles)
 
 
+class RopeTable:
+    """Precomputed cos/sin values for integer positions ``0..capacity-1``.
+
+    The incremental decode path looks positions up here instead of evaluating
+    ``cos``/``sin`` from scratch every step.  Values are bit-identical to
+    :func:`_rope_cos_sin` because both compute ``f(position * inv_freq)`` in
+    float64 with the same ``inv_freq`` vector.  The table grows geometrically
+    on demand, so one shared instance serves arbitrarily long generations.
+    """
+
+    def __init__(self, rope_dims: int, base: float = _ROPE_BASE, initial_capacity: int = 2048):
+        if rope_dims % 2 != 0:
+            raise ValueError(f"rope_dims must be even, got {rope_dims}")
+        self.rope_dims = rope_dims
+        self.base = base
+        self._cos = np.empty((0, rope_dims // 2))
+        self._sin = np.empty((0, rope_dims // 2))
+        # Dtype-cast mirrors (e.g. float32 for inference) built lazily so the
+        # decode path never casts cos/sin per call.
+        self._cast: dict[np.dtype, tuple[np.ndarray, np.ndarray]] = {}
+        self._ensure(initial_capacity)
+
+    @property
+    def capacity(self) -> int:
+        return self._cos.shape[0]
+
+    def _ensure(self, n_positions: int) -> None:
+        if n_positions <= self.capacity:
+            return
+        capacity = max(n_positions, 2 * self.capacity, 16)
+        self._cos, self._sin = _rope_cos_sin(np.arange(capacity), self.rope_dims, self.base)
+        self._cast = {}
+
+    def _tables(self, dtype: np.dtype) -> tuple[np.ndarray, np.ndarray]:
+        """cos/sin tables in ``dtype`` (cast once, bit-identical per element)."""
+        if dtype == self._cos.dtype:
+            return self._cos, self._sin
+        cached = self._cast.get(dtype)
+        if cached is None:
+            cached = (self._cos.astype(dtype), self._sin.astype(dtype))
+            self._cast[dtype] = cached
+        return cached
+
+    def cos_sin(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(cos, sin)`` of shape ``positions.shape + (rope_dims//2,)``."""
+        positions = np.asarray(positions)
+        if positions.size == 0:
+            half = self.rope_dims // 2
+            return (
+                np.empty(positions.shape + (half,)),
+                np.empty(positions.shape + (half,)),
+            )
+        self._ensure(int(positions.max()) + 1)
+        return self._cos[positions], self._sin[positions]
+
+    def rotate(self, x: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Rotate ``x`` (``(..., d_head)``) at integer ``positions``.
+
+        A lean decode-path variant of :func:`rope_rotate` — no dtype/shape
+        validation, bit-identical arithmetic.  ``positions`` must broadcast
+        against ``x.shape[:-1]`` and must be an integer array.
+        """
+        if self.rope_dims == 0 or positions.size == 0:
+            return x.copy()
+        self._ensure(int(positions.max()) + 1)
+        cos, sin = self._tables(x.dtype)
+        return self._apply(x, cos[positions], sin[positions])
+
+    def rotate_uniform(self, x: np.ndarray, position: int) -> np.ndarray:
+        """Rotate every vector of ``x`` (``(..., d_head)``) at one ``position``.
+
+        The steady-state decode fast path: the query token (and each newly
+        appended key) sits at a single scalar position, so the cos/sin rows
+        are plain table rows instead of an advanced-indexing gather.
+        Bit-identical to :meth:`rotate` at a uniform position.
+        """
+        if self.rope_dims == 0:
+            return x.copy()
+        self._ensure(position + 1)
+        cos, sin = self._tables(x.dtype)
+        return self._apply(x, cos[position], sin[position])
+
+    def _apply(self, x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+        half = self.rope_dims // 2
+        x1 = x[..., :half]
+        x2 = x[..., half : self.rope_dims]
+        out = x.copy()
+        out[..., :half] = x1 * cos - x2 * sin
+        out[..., half : self.rope_dims] = x1 * sin + x2 * cos
+        return out
+
+
+@lru_cache(maxsize=8)
+def get_rope_table(rope_dims: int, base: float = _ROPE_BASE) -> RopeTable:
+    """Process-wide shared :class:`RopeTable` for a given geometry."""
+    return RopeTable(rope_dims, base)
+
+
 def rope_rotate(
     x: np.ndarray,
     positions: np.ndarray,
     rope_dims: int | None = None,
     inverse: bool = False,
+    table: RopeTable | None = None,
 ) -> np.ndarray:
     """Apply rotary position embedding to the trailing dimension of ``x``.
 
@@ -64,8 +167,13 @@ def rope_rotate(
     inverse:
         Apply the inverse rotation (used for the backward pass, since rotation
         is orthogonal).
+    table:
+        Optional precomputed :class:`RopeTable`; requires integer positions.
+        Produces bit-identical results to the direct computation.
     """
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x)
+    if not np.issubdtype(x.dtype, np.floating):
+        x = x.astype(np.float64)
     d_head = x.shape[-1]
     rope_dims = d_head if rope_dims is None else rope_dims
     if rope_dims > d_head:
@@ -73,7 +181,18 @@ def rope_rotate(
     if rope_dims == 0:
         return x.copy()
 
-    cos, sin = _rope_cos_sin(positions, rope_dims)
+    positions = np.asarray(positions)
+    if (
+        table is not None
+        and table.rope_dims == rope_dims
+        and np.issubdtype(positions.dtype, np.integer)
+    ):
+        cos, sin = table.cos_sin(positions)
+    else:
+        cos, sin = _rope_cos_sin(positions, rope_dims)
+    if x.dtype != cos.dtype:
+        cos = cos.astype(x.dtype)
+        sin = sin.astype(x.dtype)
     if inverse:
         sin = -sin
 
@@ -96,14 +215,8 @@ def rope_rotate_backward(
     return rope_rotate(dout, positions, rope_dims=rope_dims, inverse=True)
 
 
-def alibi_slopes(n_heads: int) -> np.ndarray:
-    """Per-head ALiBi slopes.
-
-    Follows the reference construction from Press et al. (2021): for a head
-    count that is a power of two the slopes are a geometric sequence starting
-    at ``2^(-8/n)``; otherwise the sequence is extended with interpolated
-    slopes exactly like the original implementation.
-    """
+@lru_cache(maxsize=32)
+def _alibi_slopes_cached(n_heads: int) -> tuple[float, ...]:
     if n_heads <= 0:
         raise ValueError("n_heads must be positive")
 
@@ -118,7 +231,19 @@ def alibi_slopes(n_heads: int) -> np.ndarray:
         slopes = power_of_two_slopes(closest)
         extra = power_of_two_slopes(2 * closest)[0::2][: n_heads - closest]
         slopes = slopes + extra
-    return np.asarray(slopes, dtype=np.float64)
+    return tuple(float(s) for s in slopes)
+
+
+def alibi_slopes(n_heads: int) -> np.ndarray:
+    """Per-head ALiBi slopes.
+
+    Follows the reference construction from Press et al. (2021): for a head
+    count that is a power of two the slopes are a geometric sequence starting
+    at ``2^(-8/n)``; otherwise the sequence is extended with interpolated
+    slopes exactly like the original implementation.  Slopes are memoized per
+    head count; a fresh array is returned so callers may mutate it freely.
+    """
+    return np.asarray(_alibi_slopes_cached(n_heads), dtype=np.float64)
 
 
 def alibi_bias_matrix(n_heads: int, seq_len: int) -> np.ndarray:

@@ -22,32 +22,47 @@ __all__ = [
 ]
 
 # Coefficient of the tanh GeLU approximation (same as GPT-2 / GPT-J).
-_GELU_C = np.sqrt(2.0 / np.pi)
+# A Python float so float32 inputs are not silently promoted to float64.
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+
+_FLOAT_KINDS = frozenset("f")
+
+
+def _as_float(x: np.ndarray) -> np.ndarray:
+    """View ``x`` as a floating array, preserving float32/float64 inputs."""
+    x = np.asarray(x)
+    if x.dtype.kind not in _FLOAT_KINDS:
+        return x.astype(np.float64)
+    return x
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax along ``axis``.
 
     Rows that are entirely ``-inf`` (fully masked) produce all-zero outputs
-    rather than NaNs, which is convenient for causal attention masks.
+    rather than NaNs, which is convenient for causal attention masks.  The
+    input's floating dtype is preserved (float32 stays float32).
     """
-    x = np.asarray(x, dtype=np.float64)
-    x_max = np.max(x, axis=axis, keepdims=True)
+    x = _as_float(x)
+    # ndarray methods skip the np.max/np.sum dispatch overhead, which is
+    # measurable on the (B, H, L) arrays of the per-token decode path.
+    x_max = x.max(axis=axis, keepdims=True)
     # Fully-masked rows have max == -inf; shift them to zero to avoid NaN.
     x_max = np.where(np.isfinite(x_max), x_max, 0.0)
     e = np.exp(x - x_max)
-    denom = np.sum(e, axis=axis, keepdims=True)
+    denom = e.sum(axis=axis, keepdims=True)
     denom = np.where(denom == 0.0, 1.0, denom)
     return e / denom
 
 
 def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable log-softmax along ``axis``."""
-    x = np.asarray(x, dtype=np.float64)
-    x_max = np.max(x, axis=axis, keepdims=True)
+    """Numerically stable log-softmax along ``axis`` (dtype-preserving)."""
+    x = _as_float(x)
+    x_max = x.max(axis=axis, keepdims=True)
     x_max = np.where(np.isfinite(x_max), x_max, 0.0)
     shifted = x - x_max
-    log_denom = np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+    log_denom = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     return shifted - log_denom
 
 
@@ -58,14 +73,27 @@ def softmax_backward(dprobs: np.ndarray, probs: np.ndarray, axis: int = -1) -> n
 
 
 def gelu(x: np.ndarray) -> np.ndarray:
-    """Tanh-approximated Gaussian Error Linear Unit."""
-    x = np.asarray(x, dtype=np.float64)
-    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * x**3)))
+    """Tanh-approximated Gaussian Error Linear Unit (dtype-preserving).
+
+    Computed with an in-place operation chain; bit-identical to the textbook
+    ``0.5 * x * (1 + tanh(c * (x + 0.044715 * x^3)))`` because multiplication
+    is exactly commutative and scaling by 0.5 is exact.
+    """
+    x = _as_float(x)
+    inner = x**3
+    inner *= 0.044715
+    inner += x
+    inner *= _GELU_C
+    np.tanh(inner, out=inner)
+    inner += 1.0
+    inner *= x
+    inner *= 0.5
+    return inner
 
 
 def gelu_backward(dout: np.ndarray, x: np.ndarray) -> np.ndarray:
     """Gradient of the tanh-approximated GeLU with respect to its input."""
-    x = np.asarray(x, dtype=np.float64)
+    x = _as_float(x)
     u = _GELU_C * (x + 0.044715 * x**3)
     tanh_u = np.tanh(u)
     du_dx = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
@@ -81,11 +109,16 @@ def layer_norm(
     Returns the normalized output and a cache consumed by
     :func:`layer_norm_backward`.
     """
-    x = np.asarray(x, dtype=np.float64)
-    mean = x.mean(axis=-1, keepdims=True)
-    var = x.var(axis=-1, keepdims=True)
+    x = _as_float(x)
+    d = x.shape[-1]
+    # Hand-rolled mean/var: bit-identical to ndarray.mean/.var but without
+    # their per-call dispatch overhead (the decode path normalizes (B, d)
+    # vectors thousands of times per generation).
+    mean = x.sum(axis=-1, keepdims=True) / d
+    centered = x - mean
+    var = (centered * centered).sum(axis=-1, keepdims=True) / d
     inv_std = 1.0 / np.sqrt(var + eps)
-    x_hat = (x - mean) * inv_std
+    x_hat = centered * inv_std
     out = gamma * x_hat + beta
     cache = {"x_hat": x_hat, "inv_std": inv_std, "gamma": gamma}
     return out, cache

@@ -50,6 +50,12 @@ class DecoderLM(Module):
         if not config.tie_embeddings:
             self.lm_head = Linear(config.d_model, config.vocab_size, rng, config.init_std)
 
+        if config.np_dtype != np.float64:
+            # Weights are drawn in float64 for seed-stable initialization,
+            # then cast once so every activation downstream stays in the
+            # configured compute dtype.
+            self.to_dtype(config.np_dtype)
+
         self._final_hidden: np.ndarray | None = None
 
     # ------------------------------------------------------------------

@@ -1,0 +1,149 @@
+"""Golden generation cases shared by the equivalence tests and the pin script.
+
+The cases cover every eviction-policy family the paper evaluates (full,
+window, H2O, Keyformer) plus the positional variants that exercise distinct
+decode-path code (RoPE original positions, RoPE renumbered positions, ALiBi,
+learned absolute embeddings).  ``run_case`` executes one case end to end and
+returns a JSON-serializable summary: generated token sequences, per-sequence
+log-probabilities and cache statistics.
+
+Pinning (done once, against the seed implementation):
+
+    PYTHONPATH=src python tests/golden/golden_cases.py --pin
+
+writes ``golden_generation.json`` next to this file.  The test module
+``test_golden_generation.py`` then asserts that the current implementation
+reproduces those outputs token for token.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import CachePolicyConfig, KeyformerConfig
+from repro.core.keyformer import KeyformerPolicy
+from repro.core.policies import (
+    FullAttentionPolicy,
+    H2OPolicy,
+    WindowAttentionPolicy,
+)
+from repro.generation.generator import Generator
+from repro.generation.sampler import GreedySampler
+from repro.models.config import GenerationConfig, ModelConfig
+from repro.models.transformer import DecoderLM
+
+FIXTURE_PATH = Path(__file__).resolve().parent / "golden_generation.json"
+
+PROMPT_LEN = 48
+MAX_NEW_TOKENS = 24
+VOCAB = 128
+
+
+def _model_config(positional: str, **overrides) -> dict:
+    cfg = dict(
+        vocab_size=VOCAB,
+        d_model=32,
+        n_layers=2,
+        n_heads=4,
+        d_ff=64,
+        max_seq_len=256,
+        positional=positional,
+    )
+    cfg.update(overrides)
+    return cfg
+
+
+def _policy_for(case: dict):
+    name = case["policy"]
+    if name == "full":
+        return FullAttentionPolicy()
+    if name == "window":
+        return WindowAttentionPolicy(CachePolicyConfig(kv_fraction=0.5))
+    if name == "h2o":
+        return H2OPolicy(CachePolicyConfig(kv_fraction=0.5, recent_ratio=0.5))
+    if name == "keyformer":
+        return KeyformerPolicy(
+            KeyformerConfig(kv_fraction=0.5, positional_mode=case.get("positional_mode", "original"))
+        )
+    raise KeyError(f"unknown golden policy {name!r}")
+
+
+#: Every golden case: policy family x positional-encoding variant.
+CASES: tuple[dict, ...] = (
+    {"name": "full_rope", "policy": "full", "model": _model_config("rope")},
+    {"name": "window_rope", "policy": "window", "model": _model_config("rope")},
+    {"name": "h2o_rope", "policy": "h2o", "model": _model_config("rope")},
+    {"name": "keyformer_rope", "policy": "keyformer", "model": _model_config("rope")},
+    {
+        "name": "keyformer_rope_newpos",
+        "policy": "keyformer",
+        "positional_mode": "new",
+        "model": _model_config("rope"),
+    },
+    {
+        "name": "keyformer_rope_partial",
+        "policy": "keyformer",
+        "model": _model_config("rope", rope_fraction=0.5),
+    },
+    {"name": "keyformer_alibi", "policy": "keyformer", "model": _model_config("alibi")},
+    {"name": "h2o_learned", "policy": "h2o", "model": _model_config("learned")},
+    {
+        "name": "full_rope_batch2",
+        "policy": "full",
+        "batch_size": 2,
+        "model": _model_config("rope"),
+    },
+)
+
+
+def run_case(case: dict, compute_dtype: str | None = None) -> dict:
+    """Execute one golden case and summarize its outputs."""
+    model_kwargs = dict(case["model"])
+    if compute_dtype is not None:
+        model_kwargs["compute_dtype"] = compute_dtype
+    model = DecoderLM(ModelConfig(**model_kwargs), seed=0)
+    policy = _policy_for(case)
+    generator = Generator(model, policy)
+
+    batch_size = case.get("batch_size", 1)
+    prompt = (
+        np.random.default_rng(7)
+        .integers(0, VOCAB, size=(batch_size, PROMPT_LEN))
+        .astype(np.int64)
+    )
+    if batch_size == 1:
+        prompt = prompt[0]
+
+    config = GenerationConfig(max_new_tokens=MAX_NEW_TOKENS)
+    result = generator.generate(prompt, config, sampler=GreedySampler())
+    return {
+        "sequences": [[int(t) for t in seq] for seq in result.sequences],
+        "log_probs": [float(lp) for lp in result.log_probs],
+        "n_steps": int(result.n_steps),
+        "total_appended": int(result.cache_stats.total_appended),
+        "total_evicted": int(result.cache_stats.total_evicted),
+    }
+
+
+def run_all(compute_dtype: str | None = None) -> dict:
+    return {case["name"]: run_case(case, compute_dtype) for case in CASES}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pin", action="store_true", help="write the fixture file")
+    args = parser.parse_args()
+    results = run_all()
+    if args.pin:
+        FIXTURE_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"pinned {len(results)} cases to {FIXTURE_PATH}")
+    else:
+        print(json.dumps(results, indent=2))
+
+
+if __name__ == "__main__":
+    main()

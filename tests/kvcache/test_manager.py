@@ -61,7 +61,11 @@ class TestDecodeFlow:
         k = rng.normal(size=(1, N_HEADS, D_HEAD))
         v = rng.normal(size=(1, N_HEADS, D_HEAD))
         view.append(k, v)
-        keys, values, key_pos, query_pos = view.attention_view()
+        keys, values, key_pos, query_pos, keys_rotated = view.attention_view()
+        assert keys_rotated is False  # no rope_dims configured in these tests
+        # attention_view returns live views into the slab; snapshot them before
+        # observe() may evict (the decode path consumes them before observing).
+        keys, key_pos = keys.copy(), key_pos.copy()
         logits = rng.normal(size=(1, N_HEADS, keys.shape[2]))
         view.observe(logits, softmax(logits, axis=-1))
         return keys, key_pos, query_pos

@@ -1,0 +1,148 @@
+"""Tests for the slab-backed cache internals: preallocation, in-place append,
+rotated-key caching, identity-gather skipping and dtype plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.kvcache.cache import LayerKVCache
+from repro.models.positional import RopeTable, _rope_cos_sin, get_rope_table, rope_rotate
+
+B, H, D = 1, 2, 8
+
+
+def make_cache(t=6, **kwargs):
+    rng = np.random.default_rng(0)
+    keys = rng.normal(size=(B, H, t, D))
+    values = rng.normal(size=(B, H, t, D))
+    return LayerKVCache.from_prompt(keys, values, **kwargs), keys, values
+
+
+class TestSlabStorage:
+    def test_capacity_preallocated(self):
+        cache, _, _ = make_cache(t=4, capacity=32)
+        assert cache.capacity == 32
+        assert cache.length == 4
+
+    def test_append_is_in_place_until_capacity(self):
+        cache, _, _ = make_cache(t=4, capacity=8)
+        buffer_before = cache.keys.base
+        k = np.ones((B, H, D))
+        for i in range(4):
+            cache.append(k, k, position=4 + i)
+        assert cache.keys.base is buffer_before  # no reallocation happened
+        assert cache.length == 8
+
+    def test_capacity_doubles_when_exhausted(self):
+        cache, _, _ = make_cache(t=4, capacity=4)
+        cache.append(np.ones((B, H, D)), np.ones((B, H, D)), position=4)
+        assert cache.length == 5
+        assert cache.capacity >= 8
+        np.testing.assert_array_equal(cache.positions[0, 0], [0, 1, 2, 3, 4])
+
+    def test_gather_compacts_in_place(self):
+        cache, keys, _ = make_cache(t=6, capacity=16)
+        buffer_before = cache.keys.base
+        cache.gather(np.array([0, 2, 5]))
+        assert cache.keys.base is buffer_before
+        np.testing.assert_allclose(cache.keys[0, 0], keys[0, 0, [0, 2, 5]])
+        assert cache.total_evicted == 3
+
+    def test_identity_gather_is_noop(self):
+        cache, keys, _ = make_cache(t=6)
+        cache.gather(np.arange(6))
+        assert cache.total_evicted == 0
+        np.testing.assert_allclose(cache.keys, keys)
+
+    def test_read_only_position_views(self):
+        cache, _, _ = make_cache(t=5)
+        pos = cache.retained_original_positions()
+        with pytest.raises(ValueError):
+            pos[0, 0, 0] = 99
+        renum = cache.renumbered_positions()
+        with pytest.raises(ValueError):
+            renum[0, 0, 0] = 99
+
+    def test_float32_storage(self):
+        cache, _, _ = make_cache(t=4, dtype="float32")
+        assert cache.keys.dtype == np.float32
+        cache.append(np.ones((B, H, D)), np.ones((B, H, D)), position=4)
+        assert cache.keys.dtype == np.float32
+
+
+class TestRotatedKeyCache:
+    def _rotated_reference(self, cache):
+        return rope_rotate(np.asarray(cache.keys), np.asarray(cache.positions), D)
+
+    def test_rotated_matches_full_rotation(self):
+        cache, _, _ = make_cache(t=6, rope_dims=D, capacity=16)
+        np.testing.assert_array_equal(cache.rotated_keys(), self._rotated_reference(cache))
+
+    def test_rotated_stays_valid_across_append_and_gather(self):
+        cache, _, _ = make_cache(t=6, rope_dims=D, capacity=16)
+        cache.rotated_keys()
+        cache.append(np.ones((B, H, D)), np.ones((B, H, D)), position=6)
+        np.testing.assert_array_equal(cache.rotated_keys(), self._rotated_reference(cache))
+        # Per-head eviction: heads keep different token sets.
+        idx = np.stack([[np.array([0, 2, 4, 6]), np.array([1, 3, 5, 6])]])
+        cache.gather(idx)
+        np.testing.assert_array_equal(cache.rotated_keys(), self._rotated_reference(cache))
+
+    def test_rotation_invalidated_when_gather_precedes_rotation(self):
+        cache, _, _ = make_cache(t=6, rope_dims=D, capacity=16)
+        # Gather before the rotated slab was ever built: lazily recomputed.
+        cache.gather(np.array([1, 3, 5]))
+        np.testing.assert_array_equal(cache.rotated_keys(), self._rotated_reference(cache))
+
+    def test_disabled_without_rope_dims(self):
+        cache, _, _ = make_cache(t=4)
+        with pytest.raises(RuntimeError):
+            cache.rotated_keys()
+
+    def test_reorder_keeps_rotated_consistent(self):
+        rng = np.random.default_rng(1)
+        keys = rng.normal(size=(3, H, 5, D))
+        cache = LayerKVCache.from_prompt(keys, keys.copy(), rope_dims=D)
+        cache.rotated_keys()
+        cache.reorder(np.array([2, 0, 1]))
+        np.testing.assert_array_equal(cache.rotated_keys(), self._rotated_reference(cache))
+
+
+class TestRopeTable:
+    def test_matches_direct_computation(self):
+        table = RopeTable(D, initial_capacity=4)
+        positions = np.array([0, 3, 17, 200])
+        cos, sin = table.cos_sin(positions)
+        ref_cos, ref_sin = _rope_cos_sin(positions, D)
+        np.testing.assert_array_equal(cos, ref_cos)
+        np.testing.assert_array_equal(sin, ref_sin)
+
+    def test_grows_on_demand(self):
+        table = RopeTable(D, initial_capacity=8)
+        start = table.capacity
+        table.cos_sin(np.array([10 * start]))
+        assert table.capacity >= 10 * start + 1
+
+    def test_rotate_matches_rope_rotate(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(B, H, 5, D))
+        positions = rng.integers(0, 50, size=(B, H, 5))
+        table = get_rope_table(D)
+        np.testing.assert_array_equal(
+            table.rotate(x, positions), rope_rotate(x, positions, D)
+        )
+
+    def test_rotate_uniform_matches_rotate(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(B, H, D))
+        table = get_rope_table(D)
+        uniform = table.rotate_uniform(x, 7)
+        general = table.rotate(x, np.full((B, H), 7))
+        np.testing.assert_array_equal(uniform, general)
+
+    def test_float32_lookup_matches_cast(self):
+        table = RopeTable(D, initial_capacity=16)
+        x = np.random.default_rng(4).normal(size=(B, H, D)).astype(np.float32)
+        out = table.rotate_uniform(x, 3)
+        assert out.dtype == np.float32
+        ref = rope_rotate(x, np.full((B, H), 3), D)
+        np.testing.assert_allclose(out, ref.astype(np.float32), rtol=1e-6)
