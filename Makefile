@@ -5,7 +5,11 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke check
+# Written into the workspace (and gitignored) rather than /tmp so concurrent
+# CI jobs on one runner never clobber each other's reports.
+BENCH_SMOKE_OUT ?= BENCH_smoke.json
+
+.PHONY: test bench bench-smoke bench-gate lint serve-demo check
 
 test:
 	$(PYTHON) -m pytest -x -q tests
@@ -14,7 +18,19 @@ bench:
 	$(PYTHON) benchmarks/run_bench.py
 
 bench-smoke:
-	$(PYTHON) benchmarks/run_bench.py --smoke --output /tmp/BENCH_smoke.json
+	$(PYTHON) benchmarks/run_bench.py --smoke --output $(BENCH_SMOKE_OUT)
+
+# Compare the smoke run against the committed BENCH_micro.json and fail on
+# >1.5x regression of any pinned metric (machine-speed normalized).
+bench-gate: bench-smoke
+	$(PYTHON) benchmarks/check_regression.py --report $(BENCH_SMOKE_OUT)
+
+lint:
+	ruff check .
+	ruff format --check .
+
+serve-demo:
+	$(PYTHON) examples/serving_demo.py
 
 check: test bench-smoke
 	@echo "check OK: tier-1 tests + benchmark smoke run passed"

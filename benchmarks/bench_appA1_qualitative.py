@@ -14,7 +14,14 @@ def test_appendix_a1_qualitative(benchmark, context, save_table):
     table, texts = run_once(benchmark, run_qualitative_comparison, context=context)
     save_table("appendix_a1_scores", table)
 
-    narrative = ["Document:", "  " + texts["document"], "", "Reference:", "  " + texts["reference"], ""]
+    narrative = [
+        "Document:",
+        "  " + texts["document"],
+        "",
+        "Reference:",
+        "  " + texts["reference"],
+        "",
+    ]
     for method in ("full", "window", "h2o", "keyformer"):
         narrative.append(f"{method}:")
         narrative.append("  " + texts[method])

@@ -11,7 +11,6 @@ import numpy as np
 
 from repro.experiments.attention_analysis import run_heatmap_figures
 from repro.experiments.common import EVAL_SEED
-from repro.metrics.attention_stats import cumulative_attention_mass
 
 from conftest import run_once
 

@@ -27,9 +27,9 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.config import KeyformerConfig
+from repro.core.config import CachePolicyConfig, KeyformerConfig
 from repro.core.keyformer import KeyformerPolicy
-from repro.core.policies import H2OPolicy, mixed_topk_selection
+from repro.core.policies import H2OPolicy, WindowAttentionPolicy, mixed_topk_selection
 from repro.core.registry import make_policy
 from repro.generation.generator import Generator
 from repro.generation.sampler import GreedySampler
@@ -37,6 +37,7 @@ from repro.kvcache.cache import LayerKVCache
 from repro.models.config import GenerationConfig, ModelConfig
 from repro.models.tensor_ops import softmax
 from repro.models.transformer import DecoderLM
+from repro.serving.engine import ContinuousBatchingEngine
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_micro.json"
@@ -44,6 +45,16 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_micro.json"
 # Long enough that per-token decode cost dominates scheduler noise on shared
 # machines; the prompt phase runs in untimed setup either way.
 DECODE_TOKENS = 64
+
+# Serving benchmark geometry: 4 concurrent requests, mixed prompt lengths, a
+# fixed KV budget (the serving steady state where every sequence holds its
+# budget).  The serving model is wider than the microbenchmark model — closer
+# to deployment shape, and wide enough that per-token math (not Python
+# dispatch) dominates the sequential baseline.
+SERVE_BATCH = 4
+SERVE_PROMPT_LEN = 512
+SERVE_BUDGET = 128
+SERVE_TOKENS = 96
 
 
 def _model(max_seq_len: int, dtype: str | None = None, **overrides) -> DecoderLM:
@@ -173,6 +184,93 @@ def bench_mixed_topk(length: int, rounds: int) -> dict:
     return _time(None, lambda: mixed_topk_selection(scores, length // 2, length // 8), rounds)
 
 
+# ----------------------------------------------------------------------
+# serving: continuous batching vs sequential, aggregate decode throughput
+# ----------------------------------------------------------------------
+def _serve_model() -> DecoderLM:
+    config = ModelConfig(
+        vocab_size=256,
+        d_model=128,
+        n_layers=4,
+        n_heads=8,
+        d_ff=512,
+        max_seq_len=2 * SERVE_PROMPT_LEN + SERVE_TOKENS + 64,
+        positional="rope",
+    )
+    return DecoderLM(config, seed=0)
+
+
+def _serve_policy_factory(policy_name: str):
+    if policy_name == "window":
+        return lambda: WindowAttentionPolicy(CachePolicyConfig(kv_budget=SERVE_BUDGET))
+    if policy_name == "keyformer":
+        return lambda: KeyformerPolicy(KeyformerConfig(kv_budget=SERVE_BUDGET))
+    raise KeyError(f"unknown serving policy {policy_name!r}")
+
+
+def _serve_prompts() -> list[np.ndarray]:
+    return [
+        np.random.default_rng(i)
+        .integers(0, 256, size=SERVE_PROMPT_LEN + 8 * i)
+        .astype(np.int64)
+        for i in range(SERVE_BATCH)
+    ]
+
+
+def bench_serving(policy_name: str, rounds: int) -> tuple[dict, dict, dict]:
+    """Aggregate decode tokens/sec: 4 requests one-by-one vs one continuous batch.
+
+    Prompt processing runs in untimed setup for both sides (it is identical
+    work — the engine prefills each request through the same full forward
+    pass); timings cover the token-generation phase that serving throughput
+    is about.  Returns ``(sequential, batched, speedup)`` component dicts.
+    """
+    model = _serve_model()
+    prompts = _serve_prompts()
+    factory = _serve_policy_factory(policy_name)
+    total_tokens = SERVE_BATCH * SERVE_TOKENS
+
+    def sequential_setup():
+        runs = []
+        for prompt in prompts:
+            generator = Generator(model, factory())
+            logits, manager = generator._prompt_forward(prompt[None, :], SERVE_TOKENS)
+            runs.append((manager, logits))
+        return (runs,)
+
+    def sequential_run(runs):
+        for manager, logits in runs:
+            _decode_loop(model, manager, logits, SERVE_TOKENS)
+
+    def batched_setup():
+        engine = ContinuousBatchingEngine(
+            model, policy_factory=factory, max_batch_size=SERVE_BATCH
+        )
+        config = GenerationConfig(max_new_tokens=SERVE_TOKENS)
+        for prompt in prompts:
+            engine.submit(prompt, config, sampler=GreedySampler())
+        for state in engine.scheduler.admit(0, 0):
+            engine._prefill(state)
+        engine._record_rows(range(engine.n_running))
+        return (engine,)
+
+    def batched_run(engine):
+        while engine.has_work:
+            engine._decode()
+            engine._record_rows(range(engine.n_running))
+
+    sequential = _time(sequential_setup, sequential_run, rounds)
+    batched = _time(batched_setup, batched_run, rounds)
+    for timing in (sequential, batched):
+        timing["tokens"] = total_tokens
+        timing["tokens_per_s"] = round(total_tokens / timing["min_s"], 1)
+    speedup = {
+        "speedup": round(sequential["min_s"] / batched["min_s"], 2),
+        "rounds": rounds,
+    }
+    return sequential, batched, speedup
+
+
 def run_suite(smoke: bool = False) -> dict:
     """Run every component and return ``name -> timing`` results.
 
@@ -181,33 +279,45 @@ def run_suite(smoke: bool = False) -> dict:
     the ``_f64`` variants isolate the structural slab/rotation win at the
     bit-exact training/test dtype.
     """
-    long_ctx = 256 if smoke else 1024
     rounds = 2 if smoke else 3
     decode_rounds = 3 if smoke else 5
     fast_rounds = 3 if smoke else 7
+    # The 256-token decode components run in BOTH modes so the CI regression
+    # gate can compare the smoke run against the pinned full report by name;
+    # the full run additionally benchmarks the long-context 1024 geometry.
+    decode_ctxs = (256,) if smoke else (256, 1024)
 
     model_small = _model(max_seq_len=1024)
-    model_long_inf = _model(max_seq_len=2 * long_ctx + 64, dtype="float32")
-    model_long_f64 = _model(max_seq_len=2 * long_ctx + 64)
 
     components: dict[str, dict] = {}
     components["prompt_forward_256"] = bench_prompt_forward(model_small, 256, rounds)
     components["generation_keyformer_128"] = bench_generation(model_small, "keyformer", 128, rounds)
     components["generation_full_128"] = bench_generation(model_small, "full", 128, rounds)
-    components[f"decode_keyformer_{long_ctx}"] = bench_decode(
-        model_long_inf, "keyformer", long_ctx, decode_rounds
-    )
-    components[f"decode_full_{long_ctx}"] = bench_decode(
-        model_long_inf, "full", long_ctx, decode_rounds
-    )
-    components[f"decode_keyformer_{long_ctx}_f64"] = bench_decode(
-        model_long_f64, "keyformer", long_ctx, decode_rounds
-    )
-    components[f"decode_full_{long_ctx}_f64"] = bench_decode(
-        model_long_f64, "full", long_ctx, decode_rounds
-    )
+    for ctx in decode_ctxs:
+        model_ctx_inf = _model(max_seq_len=2 * ctx + 64, dtype="float32")
+        model_ctx_f64 = _model(max_seq_len=2 * ctx + 64)
+        components[f"decode_keyformer_{ctx}"] = bench_decode(
+            model_ctx_inf, "keyformer", ctx, decode_rounds
+        )
+        components[f"decode_full_{ctx}"] = bench_decode(
+            model_ctx_inf, "full", ctx, decode_rounds
+        )
+        components[f"decode_keyformer_{ctx}_f64"] = bench_decode(
+            model_ctx_f64, "keyformer", ctx, decode_rounds
+        )
+        components[f"decode_full_{ctx}_f64"] = bench_decode(
+            model_ctx_f64, "full", ctx, decode_rounds
+        )
     components["cache_gather_1024"] = bench_cache_gather(1024, fast_rounds)
     components["cache_append_1024"] = bench_cache_append(1024, 64, fast_rounds)
+    # Serving benchmark: same geometry in smoke and full runs so the CI
+    # regression gate can compare against the pinned report by name.
+    serve_rounds = 2 if smoke else 4
+    for serve_policy in ("window", "keyformer"):
+        sequential, batched, speedup = bench_serving(serve_policy, serve_rounds)
+        components[f"serve_seq{SERVE_BATCH}_{serve_policy}_{SERVE_PROMPT_LEN}"] = sequential
+        components[f"serve_batch{SERVE_BATCH}_{serve_policy}_{SERVE_PROMPT_LEN}"] = batched
+        components[f"serve_speedup_{serve_policy}_{SERVE_PROMPT_LEN}"] = speedup
     if not smoke:
         components["keyformer_score_update_1025"] = bench_score_update(
             KeyformerPolicy, 1025, fast_rounds
@@ -249,7 +359,9 @@ def main() -> None:
         report["speedup_vs_baseline"] = {
             name: round(base_components[name]["min_s"] / timing["min_s"], 2)
             for name, timing in components.items()
-            if name in base_components and timing["min_s"] > 0
+            if name in base_components
+            and "min_s" in base_components[name]
+            and timing.get("min_s", 0) > 0
         }
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")

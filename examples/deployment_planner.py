@@ -43,7 +43,10 @@ def main() -> None:
 
     print(f"Model: {spec.name}  ({spec.n_parameters() / 1e9:.2f} B parameters, "
           f"{memory.model_bytes() / 1e9:.1f} GB fp16)")
-    print(f"GPU:   {gpu.name}  ({gpu.hbm_bandwidth_gbps:.0f} GB/s HBM, {gpu.hbm_capacity_gb:.0f} GB)")
+    print(
+        f"GPU:   {gpu.name}  "
+        f"({gpu.hbm_bandwidth_gbps:.0f} GB/s HBM, {gpu.hbm_capacity_gb:.0f} GB)"
+    )
     print(f"Workload: prompt {args.prompt} + generate {args.generate}, beam {args.beam}\n")
 
     table = ResultTable(
@@ -70,7 +73,9 @@ def main() -> None:
           f"({args.kv_fraction:.0%} budget)")
 
     max_full = throughput.max_feasible_batch(args.prompt, args.generate, 1.0, args.beam)
-    max_reduced = throughput.max_feasible_batch(args.prompt, args.generate, args.kv_fraction, args.beam)
+    max_reduced = throughput.max_feasible_batch(
+        args.prompt, args.generate, args.kv_fraction, args.beam
+    )
     print(f"Max batch size: {max_full} (full attention) -> {max_reduced} (reduced cache)")
 
     best = throughput.evaluate(

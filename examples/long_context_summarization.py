@@ -31,7 +31,9 @@ def main() -> None:
 
     print("Loading the MPT-storywriter analogue (long-context model)...")
     model, tokenizer, _ = load_or_train("mpt_storywriter_mini")
-    dataset = make_dataset("govreport", world=SyntheticWorld(0), n_examples=args.limit + 2, seed=555)
+    dataset = make_dataset(
+        "govreport", world=SyntheticWorld(0), n_examples=args.limit + 2, seed=555
+    )
     pipeline = SummarizationPipeline(model, tokenizer)
 
     table = ResultTable(

@@ -1,0 +1,104 @@
+"""Serving demo: continuous batching over the slab KV-cache.
+
+Submits a stream of mixed-length requests to the continuous-batching engine
+with a deliberately small batch budget, so requests queue, join mid-stream as
+others retire, and decode together — then verifies every output is
+bit-identical to a dedicated single-request run and reports the aggregate
+throughput of both execution modes.
+
+Run with:
+    python examples/serving_demo.py          # or: make serve-demo
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import CachePolicyConfig
+from repro.core.policies import WindowAttentionPolicy
+from repro.generation.generator import Generator
+from repro.generation.sampler import GreedySampler
+from repro.models.config import GenerationConfig, ModelConfig
+from repro.models.transformer import DecoderLM
+from repro.serving.engine import ContinuousBatchingEngine
+
+VOCAB = 256
+KV_BUDGET = 96
+MAX_NEW_TOKENS = 48
+PROMPT_LENGTHS = (320, 256, 288, 272, 304, 264)
+
+
+def policy_factory() -> WindowAttentionPolicy:
+    return WindowAttentionPolicy(CachePolicyConfig(kv_budget=KV_BUDGET))
+
+
+def main() -> None:
+    model = DecoderLM(
+        ModelConfig(
+            vocab_size=VOCAB,
+            d_model=64,
+            n_layers=4,
+            n_heads=8,
+            d_ff=256,
+            max_seq_len=1024,
+            positional="rope",
+        ),
+        seed=0,
+    )
+    prompts = [
+        np.random.default_rng(i).integers(0, VOCAB, size=n).astype(np.int64)
+        for i, n in enumerate(PROMPT_LENGTHS)
+    ]
+    config = GenerationConfig(max_new_tokens=MAX_NEW_TOKENS)
+
+    print(f"Submitting {len(prompts)} requests (prompts {min(PROMPT_LENGTHS)}-"
+          f"{max(PROMPT_LENGTHS)} tokens, {MAX_NEW_TOKENS} new tokens each)")
+    engine = ContinuousBatchingEngine(
+        model,
+        policy_factory=policy_factory,
+        max_batch_size=3,  # smaller than the request count: forces queueing
+        max_total_tokens=2048,
+    )
+    states = [engine.submit(p, config, sampler=GreedySampler()) for p in prompts]
+
+    start = time.perf_counter()
+    steps = 0
+    while engine.has_work:
+        engine.step()
+        steps += 1
+        if steps % 16 == 0:
+            print(
+                f"  step {steps:3d}: running={engine.n_running} "
+                f"queued={engine.n_queued}"
+            )
+    batched_s = time.perf_counter() - start
+    total_tokens = sum(len(state.tokens) for state in states)
+    print(f"Engine finished in {steps} steps / {batched_s:.2f}s "
+          f"({total_tokens / batched_s:.0f} tok/s aggregate, incl. prefill)")
+
+    print("\nPer-request results:")
+    for state in states:
+        print(
+            f"  request {state.request_id}: {len(state.tokens)} tokens, "
+            f"finished on {state.finish_reason.value}, first 8 = {state.tokens[:8]}"
+        )
+
+    print("\nVerifying bit-exactness against dedicated sequential runs...")
+    start = time.perf_counter()
+    sequential = [
+        Generator(model, policy_factory()).generate(p, config, sampler=GreedySampler())
+        for p in prompts
+    ]
+    sequential_s = time.perf_counter() - start
+    for state, reference in zip(states, sequential):
+        assert state.tokens == reference.sequences[0], "outputs diverged!"
+        assert state.result().log_probs == reference.log_probs
+    print(f"  all {len(prompts)} outputs bit-identical "
+          f"(sequential took {sequential_s:.2f}s -> "
+          f"{sequential_s / batched_s:.2f}x the engine's wall clock)")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,7 +32,10 @@ def format_table(
 
 
 def format_series(
-    x_values: Iterable[Any], series: dict[str, Iterable[float]], x_label: str = "x", precision: int = 2
+    x_values: Iterable[Any],
+    series: dict[str, Iterable[float]],
+    x_label: str = "x",
+    precision: int = 2,
 ) -> str:
     """Render one or more named series against shared x values as a table."""
     x_values = list(x_values)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, asdict
 from typing import Any
 
 __all__ = ["CachePolicyConfig", "KeyformerConfig"]
@@ -57,7 +57,8 @@ class CachePolicyConfig:
             raise ValueError("recent_ratio must be in [0, 1]")
         if self.positional_mode not in VALID_POSITIONAL_MODES:
             raise ValueError(
-                f"positional_mode must be one of {VALID_POSITIONAL_MODES}, got {self.positional_mode!r}"
+                f"positional_mode must be one of {VALID_POSITIONAL_MODES}, "
+                f"got {self.positional_mode!r}"
             )
         if self.prompt_mode not in VALID_PROMPT_MODES:
             raise ValueError(

@@ -207,19 +207,38 @@ class WindowAttentionPolicy(EvictionPolicy):
 
     name = "window"
 
+    def __init__(self, config: CachePolicyConfig | None = None):
+        super().__init__(config)
+        # The suffix selection depends only on the geometry, which is
+        # constant in steady-state decoding (length == budget + 1 every
+        # step) — memoize it instead of rebuilding the index array per layer
+        # per step.  Consumers treat selections as read-only.
+        self._selection_cache: tuple[tuple[int, int, int], np.ndarray] | None = None
+
+    def setup(self, n_layers, n_heads, batch_size, prompt_len, max_new_tokens) -> None:
+        super().setup(n_layers, n_heads, batch_size, prompt_len, max_new_tokens)
+        self._selection_cache = None
+
+    def _window_selection(self, b: int, h: int, length: int) -> np.ndarray:
+        key = (b, h, length)
+        if self._selection_cache is not None and self._selection_cache[0] == key:
+            return self._selection_cache[1]
+        idx = np.arange(length - self.budget, length)
+        selection = np.broadcast_to(idx, (b, h, self.budget)).copy()
+        self._selection_cache = (key, selection)
+        return selection
+
     def initial_selection(self, layer_idx, attn_probs, attn_logits=None, positions=None):
         b, h, _, t = attn_probs.shape
         if t <= self.budget:
             return None
-        idx = np.arange(t - self.budget, t)
-        return np.broadcast_to(idx, (b, h, self.budget)).copy()
+        return self._window_selection(b, h, t)
 
     def step_selection(self, layer_idx, logits, probs, key_positions, step):
         b, h, length = logits.shape
         if length <= self.budget:
             return None
-        idx = np.arange(length - self.budget, length)
-        return np.broadcast_to(idx, (b, h, self.budget)).copy()
+        return self._window_selection(b, h, length)
 
 
 class DilatedWindowPolicy(EvictionPolicy):

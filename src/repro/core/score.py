@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.distributions import NoiseDistribution, NoAdjustment, make_noise
+from repro.core.distributions import NoiseDistribution, make_noise
 from repro.core.temperature import ConstantTauSchedule, LinearTauSchedule, TauSchedule
 from repro.models.tensor_ops import softmax
 

@@ -10,7 +10,6 @@ tokens far outside a recent window.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 

@@ -94,7 +94,9 @@ class SyntheticWorld:
         return " ".join(parts)
 
     # ------------------------------------------------------------------
-    def sample_fact(self, rng: np.random.Generator | None = None, exclude: set[str] | None = None) -> Fact:
+    def sample_fact(
+        self, rng: np.random.Generator | None = None, exclude: set[str] | None = None
+    ) -> Fact:
         """Sample a random fact; ``exclude`` avoids re-using entities."""
         rng = rng or self.rng
         exclude = exclude or set()

@@ -8,8 +8,6 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.analysis.reporting import ResultTable
-from repro.core.config import KeyformerConfig
-from repro.core.keyformer import KeyformerPolicy
 from repro.core.policies import H2OPolicy
 from repro.core.config import CachePolicyConfig
 from repro.experiments.common import ExperimentContext, get_context
@@ -47,7 +45,14 @@ def run_damping_sweep(
         notes="Damped accumulated-attention score (H2O-style) at 50% KV cache, 20% recent ratio.",
     )
     full = pipeline.evaluate_dataset(dataset, policy=context.policy("full"), limit=limit)
-    table.add_row(model_name, "full-attention", 1.0, full.rouge["rouge1"], full.rouge["rouge2"], full.rouge["rougeL"])
+    table.add_row(
+        model_name,
+        "full-attention",
+        1.0,
+        full.rouge["rouge1"],
+        full.rouge["rouge2"],
+        full.rouge["rougeL"],
+    )
     for alpha in damping_factors:
         policy = H2OPolicy(
             CachePolicyConfig(kv_fraction=kv_fraction, recent_ratio=recent_ratio),

@@ -111,8 +111,12 @@ def run_fig4_distribution_shift(
     reduced = np.take_along_axis(last_row, top_idx, axis=-1)
     reduced = reduced / np.maximum(reduced.sum(axis=-1, keepdims=True), 1e-12)
 
-    table.add_row("max probability", float(last_row.max(axis=-1).mean()), float(reduced.max(axis=-1).mean()))
-    table.add_row("entropy", float(entropy(last_row, axis=-1).mean()), float(entropy(reduced, axis=-1).mean()))
+    table.add_row(
+        "max probability", float(last_row.max(axis=-1).mean()), float(reduced.max(axis=-1).mean())
+    )
+    table.add_row(
+        "entropy", float(entropy(last_row, axis=-1).mean()), float(entropy(reduced, axis=-1).mean())
+    )
     table.add_row("tokens", int(t), int(keep))
     table.add_row(
         "mass of retained tokens (pre-normalization)",

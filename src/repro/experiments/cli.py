@@ -56,24 +56,72 @@ def _tables(result) -> list[ResultTable]:
 
 #: experiment id -> (description, callable accepting (context, limit))
 EXPERIMENTS: dict[str, tuple[str, Callable]] = {
-    "fig01": ("Latency growth and KV-cache vs model size", lambda ctx, limit: run_fig1_motivation()),
-    "fig03ab": ("Attention sparsity and mass CDF", lambda ctx, limit: run_fig3_sparsity_and_cdf(context=ctx)),
-    "fig03c": ("Attention-scheme accuracy at 50% cache", lambda ctx, limit: run_fig3_accuracy_comparison(limit=limit, context=ctx)),
-    "fig04": ("Score-distribution shift after reduction", lambda ctx, limit: run_fig4_distribution_shift(context=ctx)),
-    "fig05": ("Damping-factor sweep", lambda ctx, limit: run_damping_sweep(limit=limit, context=ctx)),
-    "fig07": ("Accuracy vs KV-cache budget sweep", lambda ctx, limit: run_accuracy_sweep(limit=limit, context=ctx)),
-    "fig08": ("Long-context summarization sweep", lambda ctx, limit: run_long_context_sweep(limit=max(limit // 2, 2), context=ctx)),
+    "fig01": (
+        "Latency growth and KV-cache vs model size",
+        lambda ctx, limit: run_fig1_motivation(),
+    ),
+    "fig03ab": (
+        "Attention sparsity and mass CDF",
+        lambda ctx, limit: run_fig3_sparsity_and_cdf(context=ctx),
+    ),
+    "fig03c": (
+        "Attention-scheme accuracy at 50% cache",
+        lambda ctx, limit: run_fig3_accuracy_comparison(limit=limit, context=ctx),
+    ),
+    "fig04": (
+        "Score-distribution shift after reduction",
+        lambda ctx, limit: run_fig4_distribution_shift(context=ctx),
+    ),
+    "fig05": (
+        "Damping-factor sweep",
+        lambda ctx, limit: run_damping_sweep(limit=limit, context=ctx),
+    ),
+    "fig07": (
+        "Accuracy vs KV-cache budget sweep",
+        lambda ctx, limit: run_accuracy_sweep(limit=limit, context=ctx),
+    ),
+    "fig08": (
+        "Long-context summarization sweep",
+        lambda ctx, limit: run_long_context_sweep(limit=max(limit // 2, 2), context=ctx),
+    ),
     "fig09": ("Iso-accuracy speedup", lambda ctx, limit: run_fig9_speedup()),
-    "fig10": ("KV-movement / scaled-dot-product breakdown", lambda ctx, limit: run_fig10_breakdown()),
-    "fig11": ("Threshold sparsity sweep", lambda ctx, limit: run_fig11_threshold_sparsity(context=ctx)),
-    "fig12": ("Recent-ratio sweep", lambda ctx, limit: run_recent_ratio_sweep(limit=limit, context=ctx)),
-    "fig16": ("Temperature sweep", lambda ctx, limit: run_temperature_sweep(limit=limit, context=ctx)),
+    "fig10": (
+        "KV-movement / scaled-dot-product breakdown",
+        lambda ctx, limit: run_fig10_breakdown(),
+    ),
+    "fig11": (
+        "Threshold sparsity sweep",
+        lambda ctx, limit: run_fig11_threshold_sparsity(context=ctx),
+    ),
+    "fig12": (
+        "Recent-ratio sweep",
+        lambda ctx, limit: run_recent_ratio_sweep(limit=limit, context=ctx),
+    ),
+    "fig16": (
+        "Temperature sweep",
+        lambda ctx, limit: run_temperature_sweep(limit=limit, context=ctx),
+    ),
     "table1": ("Generation throughput", lambda ctx, limit: run_table1_throughput()),
-    "table2": ("Few-shot accuracy", lambda ctx, limit: run_fewshot_table(limit=limit, context=ctx)),
-    "table3": ("Score-function / position ablations", lambda ctx, limit: run_table3_ablations(limit=limit, context=ctx)),
-    "table4": ("Logit-adjustment distributions", lambda ctx, limit: run_table4_distributions(limit=limit, context=ctx)),
-    "appendix-a1": ("Qualitative comparison", lambda ctx, limit: run_qualitative_comparison(context=ctx)[0]),
-    "heatmaps": ("Attention heatmaps (fig 14/15)", lambda ctx, limit: run_heatmap_figures(context=ctx)),
+    "table2": (
+        "Few-shot accuracy",
+        lambda ctx, limit: run_fewshot_table(limit=limit, context=ctx),
+    ),
+    "table3": (
+        "Score-function / position ablations",
+        lambda ctx, limit: run_table3_ablations(limit=limit, context=ctx),
+    ),
+    "table4": (
+        "Logit-adjustment distributions",
+        lambda ctx, limit: run_table4_distributions(limit=limit, context=ctx),
+    ),
+    "appendix-a1": (
+        "Qualitative comparison",
+        lambda ctx, limit: run_qualitative_comparison(context=ctx)[0],
+    ),
+    "heatmaps": (
+        "Attention heatmaps (fig 14/15)",
+        lambda ctx, limit: run_heatmap_figures(context=ctx),
+    ),
 }
 
 
@@ -84,8 +132,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("experiment", nargs="?", help="experiment id (see --list)")
     parser.add_argument("--list", action="store_true", help="list available experiments")
-    parser.add_argument("--limit", type=int, default=8, help="evaluation examples per configuration")
-    parser.add_argument("--output-dir", type=Path, default=None, help="write tables to this directory")
+    parser.add_argument(
+        "--limit", type=int, default=8, help="evaluation examples per configuration"
+    )
+    parser.add_argument(
+        "--output-dir", type=Path, default=None, help="write tables to this directory"
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:

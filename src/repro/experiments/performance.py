@@ -97,7 +97,9 @@ def run_fig9_speedup(
         table.add_row(label, "full", 1.0, 1.0)
         table.add_row(
             label, "h2o", 0.9,
-            latency_model.speedup_vs_full(prompt, gen, 0.9, 1, beam_size, AttentionPolicyOverhead.h2o()),
+            latency_model.speedup_vs_full(
+                prompt, gen, 0.9, 1, beam_size, AttentionPolicyOverhead.h2o()
+            ),
         )
         table.add_row(
             label, "keyformer", 0.5,

@@ -59,7 +59,11 @@ def run_qualitative_comparison(
         text = tokenizer.decode(result.sequences[0])
         scores = rouge_all(text, example.summary)
         table.add_row(
-            method, budget, 100 * scores["rouge1"].f1, 100 * scores["rouge2"].f1, 100 * scores["rougeL"].f1
+            method,
+            budget,
+            100 * scores["rouge1"].f1,
+            100 * scores["rouge2"].f1,
+            100 * scores["rougeL"].f1,
         )
         texts[method] = text
     return table, texts

@@ -24,7 +24,7 @@ from repro.kvcache.stats import CacheStats
 from repro.models.config import GenerationConfig
 from repro.models.tensor_ops import log_softmax
 from repro.models.transformer import DecoderLM
-from repro.generation.sampler import GreedySampler, Sampler, make_sampler
+from repro.generation.sampler import Sampler, make_sampler
 
 __all__ = ["Generator", "GenerationResult"]
 

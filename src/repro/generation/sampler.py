@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence
 
 import numpy as np
 
 from repro.models.tensor_ops import softmax
 
-__all__ = ["Sampler", "GreedySampler", "TopKSampler", "make_sampler"]
+__all__ = ["Sampler", "GreedySampler", "TopKSampler", "make_sampler", "sample_rows"]
 
 
 class Sampler(ABC):
@@ -50,6 +51,28 @@ class TopKSampler(Sampler):
         for i, row in enumerate(probs):
             out[i] = self.rng.choice(row.size, p=row)
         return out
+
+
+def sample_rows(samplers: Sequence[Sampler], logits: np.ndarray) -> np.ndarray:
+    """Sample one token per row, each row with its own sampler.
+
+    Used by the continuous-batching engine: every in-flight request carries
+    its own sampler (and RNG stream), so stochastic sampling stays
+    bit-identical to running that request alone.  The all-greedy common case
+    runs as a single batched argmax — ``np.argmax`` reduces each row
+    independently, so the batched call matches per-row calls bit for bit.
+    """
+    logits = np.atleast_2d(np.asarray(logits))
+    if logits.shape[0] != len(samplers):
+        raise ValueError(
+            f"got {logits.shape[0]} logit rows for {len(samplers)} samplers"
+        )
+    if all(type(s) is GreedySampler for s in samplers):
+        return np.argmax(logits, axis=-1).astype(np.int64)
+    out = np.empty(len(samplers), dtype=np.int64)
+    for row, sampler in enumerate(samplers):
+        out[row] = sampler(logits[row : row + 1])[0]
+    return out
 
 
 def make_sampler(

@@ -1,7 +1,16 @@
-"""KV-cache data structures and the cache manager that applies eviction policies."""
+"""KV-cache data structures and the cache managers that apply eviction policies."""
 
+from repro.kvcache.batch import BatchedCacheManager, BatchedLayerKVCache, BatchedLayerView
 from repro.kvcache.cache import LayerKVCache
 from repro.kvcache.manager import CacheManager, LayerCacheView
 from repro.kvcache.stats import CacheStats
 
-__all__ = ["LayerKVCache", "CacheManager", "LayerCacheView", "CacheStats"]
+__all__ = [
+    "LayerKVCache",
+    "CacheManager",
+    "LayerCacheView",
+    "CacheStats",
+    "BatchedLayerKVCache",
+    "BatchedCacheManager",
+    "BatchedLayerView",
+]

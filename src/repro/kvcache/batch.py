@@ -1,0 +1,590 @@
+"""Batched per-sequence slab KV storage for the continuous-batching engine.
+
+The serving engine keeps many in-flight sequences resident at once.  Storing
+each sequence in its own :class:`~repro.kvcache.cache.LayerKVCache` would
+force the batched attention step to re-stack (copy) every cache into one
+contiguous tensor per decoding step, which is exactly the O(L) per-step cost
+the slab layout was built to avoid.  Instead, :class:`BatchedLayerKVCache`
+owns **one** slab of shape ``(max_batch, heads, capacity, d_head)`` in which
+every row is an independent sequence with its own live length:
+
+* ``append_rows`` writes one new token per active sequence at that
+  sequence's own cursor (a ragged, per-row in-place write);
+* ``gather_row`` compacts a single sequence's prefix when its eviction
+  policy drops tokens — other rows are untouched;
+* ``join_row`` / ``free_row`` implement a *persistent batch*: active
+  sequences always occupy rows ``0..n_active-1``, so the attention step can
+  take a zero-copy padded view ``slab[:R, :, :Lmax]`` of the whole batch.
+
+Bit-exactness contract: every value stored here is produced by the same
+per-token elementwise operations as the single-sequence cache (RoPE rotation
+is per-element in the token axis), so the padded view's row ``b`` restricted
+to ``lengths[b]`` entries is bit-identical to the slab of a sequence decoded
+alone.  :class:`BatchedCacheManager` mirrors
+:class:`~repro.kvcache.manager.CacheManager` — per-layer caches, positional
+modes, eviction bookkeeping — but drives one policy *instance per sequence*
+so that policy state (score accumulators, noise RNGs) evolves exactly as it
+would in a dedicated single-sequence run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policies import EvictionPolicy
+from repro.kvcache.stats import CacheStats
+from repro.models.positional import RopeTable, get_rope_table
+
+__all__ = ["BatchedLayerKVCache", "BatchedCacheManager", "BatchedLayerView"]
+
+_MIN_CAPACITY = 16
+
+
+class BatchedLayerKVCache:
+    """Key/value storage for one decoder layer shared by a batch of sequences.
+
+    Parameters
+    ----------
+    max_batch:
+        Number of sequence rows the slab holds.
+    n_heads, d_head:
+        Attention geometry (shared by all sequences).
+    capacity:
+        Initial number of token slots per row; grows geometrically on demand.
+    dtype:
+        Storage dtype of keys/values.
+    rope_dims:
+        When positive, maintain a rotated-key slab alongside the raw keys.
+        Unlike the lazy single-sequence cache, rotation here is *eager*:
+        tokens are rotated at join/append time (rotation is elementwise per
+        token, so eager and lazy rotation are bit-identical) which keeps every
+        row fully rotated and compaction-safe at all times.
+    """
+
+    def __init__(
+        self,
+        max_batch: int,
+        n_heads: int,
+        d_head: int,
+        capacity: int = _MIN_CAPACITY,
+        dtype: np.dtype | str = np.float64,
+        rope_dims: int = 0,
+        rope_table: RopeTable | None = None,
+    ):
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.dtype = np.dtype(dtype)
+        self.rope_dims = int(rope_dims)
+        self._rope_table = rope_table
+        if self.rope_dims > 0 and rope_table is None:
+            self._rope_table = get_rope_table(self.rope_dims)
+        cap = max(int(capacity), _MIN_CAPACITY)
+        # np.zeros (not empty): padded slots of the position slab must hold
+        # benign values because ALiBi bias and RoPE table sizing read the
+        # padded view before masking.
+        self._k = np.zeros((max_batch, n_heads, cap, d_head), dtype=self.dtype)
+        self._v = np.zeros((max_batch, n_heads, cap, d_head), dtype=self.dtype)
+        self._pos = np.zeros((max_batch, n_heads, cap), dtype=np.int64)
+        self._k_rot = (
+            np.zeros((max_batch, n_heads, cap, d_head), dtype=self.dtype)
+            if self.rope_dims > 0
+            else None
+        )
+        #: Live token count of every row (rows beyond the active batch are 0).
+        self.lengths = np.zeros(max_batch, dtype=np.int64)
+        #: First live slot of every row.  Suffix evictions (sliding-window
+        #: policies dropping the oldest tokens) advance the start instead of
+        #: compacting the slab — an O(1) pointer bump replacing an O(L·H·d)
+        #: copy on the per-step hot path.  Rows are lazily realigned to a
+        #: common start when the padded batch view needs it.
+        self.starts = np.zeros(max_batch, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def max_batch(self) -> int:
+        return self._k.shape[0]
+
+    @property
+    def n_heads(self) -> int:
+        return self._k.shape[1]
+
+    @property
+    def capacity(self) -> int:
+        return self._k.shape[2]
+
+    @property
+    def d_head(self) -> int:
+        return self._k.shape[3]
+
+    # ------------------------------------------------------------------
+    def ensure_capacity(self, needed: int) -> None:
+        """Grow every slab so each row can hold ``needed`` token slots."""
+        if needed <= self.capacity:
+            return
+        new_cap = max(needed, 2 * self.capacity)
+        used = int((self.starts + self.lengths).max())
+
+        def grown(slab: np.ndarray | None, trailing: tuple[int, ...]) -> np.ndarray | None:
+            if slab is None:
+                return None
+            fresh = np.zeros(
+                (self.max_batch, self.n_heads, new_cap) + trailing, dtype=slab.dtype
+            )
+            fresh[:, :, :used] = slab[:, :, :used]
+            return fresh
+
+        self._k = grown(self._k, (self.d_head,))
+        self._v = grown(self._v, (self.d_head,))
+        self._pos = grown(self._pos, ())
+        self._k_rot = grown(self._k_rot, (self.d_head,))
+
+    # ------------------------------------------------------------------
+    def join_row(
+        self, row: int, keys: np.ndarray, values: np.ndarray, positions: np.ndarray
+    ) -> None:
+        """Seed row ``row`` from prompt-phase tensors of shape ``(1, H, T, d)``.
+
+        ``positions`` has shape ``(1, H, T)`` (original token positions).
+        """
+        keys = np.asarray(keys)
+        if keys.ndim != 4 or keys.shape[0] != 1:
+            raise ValueError(f"join_row expects (1, H, T, d) keys, got {keys.shape}")
+        t = keys.shape[2]
+        self.ensure_capacity(t)
+        self._k[row, :, :t] = keys[0]
+        self._v[row, :, :t] = np.asarray(values)[0]
+        self._pos[row, :, :t] = np.asarray(positions, dtype=np.int64)[0]
+        if self._k_rot is not None:
+            self._k_rot[row, :, :t] = self._rope_table.rotate(keys, positions)[0]
+        self.starts[row] = 0
+        self.lengths[row] = t
+
+    def free_row(self, row: int, last: int) -> None:
+        """Retire ``row`` by moving row ``last`` into it (persistent batch).
+
+        Moving a sequence to another storage row is pure bookkeeping — the
+        stored values are copied bit-for-bit.  Stale content left in freed or
+        shrunk slots is never read: padded views are always masked (or sliced
+        to exact lengths) before use.
+        """
+        if row != last:
+            start = int(self.starts[last])
+            stop = start + int(self.lengths[last])
+            self._k[row, :, start:stop] = self._k[last, :, start:stop]
+            self._v[row, :, start:stop] = self._v[last, :, start:stop]
+            self._pos[row, :, start:stop] = self._pos[last, :, start:stop]
+            if self._k_rot is not None:
+                self._k_rot[row, :, start:stop] = self._k_rot[last, :, start:stop]
+            self.starts[row] = start
+            self.lengths[row] = int(self.lengths[last])
+        self.starts[last] = 0
+        self.lengths[last] = 0
+
+    def append_rows(
+        self, n_active: int, k: np.ndarray, v: np.ndarray, positions: np.ndarray
+    ) -> None:
+        """Append one token per active row at each row's own cursor.
+
+        ``k``/``v`` have shape ``(R, H, d)`` and ``positions`` shape ``(R,)``
+        with the original position of each row's new token.
+        """
+        expected = (n_active, self.n_heads, self.d_head)
+        if k.shape != expected:
+            raise ValueError(f"append_rows expects shape {expected}, got {k.shape}")
+        cursors = self.starts[:n_active] + self.lengths[:n_active]
+        needed = int(cursors.max(initial=0)) + 1
+        if needed > self.capacity:
+            self.ensure_capacity(needed)
+        positions = np.asarray(positions, dtype=np.int64)
+        k_rot = None
+        if self._k_rot is not None:
+            # Per-row positions; elementwise, so each row is bit-identical to
+            # the single-sequence cache's rotate_uniform at that position.
+            k_rot = self._rope_table.rotate(k, positions[:, None])
+        first = int(cursors[0])
+        if n_active == 1 or bool((cursors == first).all()):
+            # Steady state: rows advance in lockstep, one slice write per slab.
+            self._k[:n_active, :, first] = k
+            self._v[:n_active, :, first] = v
+            self._pos[:n_active, :, first] = positions[:, None]
+            if k_rot is not None:
+                self._k_rot[:n_active, :, first] = k_rot
+        else:
+            for i in range(n_active):
+                cursor = int(cursors[i])
+                self._k[i, :, cursor] = k[i]
+                self._v[i, :, cursor] = v[i]
+                self._pos[i, :, cursor] = positions[i]
+                if k_rot is not None:
+                    self._k_rot[i, :, cursor] = k_rot[i]
+        self.lengths[:n_active] += 1
+
+    # ------------------------------------------------------------------
+    def gather_row(self, row: int, indices: np.ndarray) -> int:
+        """Retain only the entries of ``row`` selected by ``indices``.
+
+        ``indices`` has shape ``(1, H, K)`` or ``(H, K)``, ascending per head,
+        relative to the row's live region.  Returns the number of evicted
+        entries.  A *suffix* selection — every head keeping exactly the
+        newest ``K`` tokens, the steady state of sliding-window policies —
+        advances the row's start pointer instead of copying the slab.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim == 3:
+            indices = indices[0]
+        length = int(self.lengths[row])
+        if indices.shape[0] != self.n_heads:
+            raise ValueError(
+                f"gather_row expects ({self.n_heads}, K) indices, got {indices.shape}"
+            )
+        if indices.size and (indices.min() < 0 or indices.max() >= length):
+            raise IndexError("gather_row indices out of range")
+        k = indices.shape[-1]
+        dropped = length - k
+        if bool((indices == np.arange(dropped, length)).all()):
+            # Identity (dropped == 0) or pure suffix: O(1) pointer bump.
+            self.starts[row] += dropped
+            self.lengths[row] = k
+            return dropped
+        start = int(self.starts[row])
+        offsets = (np.arange(self.n_heads) * self.capacity)[:, None]
+        gidx = (offsets + start + indices).reshape(-1)
+
+        def compact(slab: np.ndarray | None) -> None:
+            if slab is None:
+                return
+            view = slab[row]
+            if view.ndim == 2:
+                taken = view.reshape(-1).take(gidx)
+                view[:, start : start + k] = taken.reshape(self.n_heads, k)
+            else:
+                taken = view.reshape(self.n_heads * self.capacity, self.d_head).take(
+                    gidx, axis=0
+                )
+                view[:, start : start + k] = taken.reshape(self.n_heads, k, self.d_head)
+
+        compact(self._k)
+        compact(self._v)
+        compact(self._pos)
+        # Rotation depends only on the preserved original position, so the
+        # (always fully rotated) rotated slab stays valid under compaction.
+        compact(self._k_rot)
+        self.lengths[row] = k
+        return dropped
+
+    # ------------------------------------------------------------------
+    def _realign(self, n_active: int) -> int:
+        """Shift rows so every active row shares one start; return that start.
+
+        Rows usually advance their starts in lockstep (same budget, same
+        eviction cadence), so this is a no-op on the steady-state hot path.
+        Divergence appears when a sequence joins mid-stream or rows evict
+        different amounts; the lagging rows are then moved once, each an
+        O(live) copy comparable to a single compaction.
+        """
+        if n_active == 0:
+            return 0
+        starts = self.starts[:n_active]
+        target = int(starts.min())
+        if int(starts.max()) == target:
+            return target
+        for row in range(n_active):
+            start = int(starts[row])
+            if start == target:
+                continue
+            length = int(self.lengths[row])
+            for slab in (self._k, self._v, self._pos, self._k_rot):
+                if slab is None:
+                    continue
+                # Leftward move; copy the source to be safe under overlap.
+                slab[row, :, target : target + length] = slab[
+                    row, :, start : start + length
+                ].copy()
+            self.starts[row] = target
+        return target
+
+    def padded_views(
+        self, n_active: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Zero-copy padded views over the active rows.
+
+        Returns ``(keys, values, positions, max_len)`` where each array is a
+        slab view of shape ``(R, H, max_len, ...)``; row ``b`` is valid up to
+        ``lengths[b]`` entries.  ``keys`` are the *raw* (unrotated) keys; use
+        :meth:`rotated_padded` for the RoPE-rotated slab.  Rows are realigned
+        to a common start first (a steady-state no-op).
+        """
+        start = self._realign(n_active)
+        max_len = int(self.lengths[:n_active].max(initial=0))
+        stop = start + max_len
+        return (
+            self._k[:n_active, :, start:stop],
+            self._v[:n_active, :, start:stop],
+            self._pos[:n_active, :, start:stop],
+            max_len,
+        )
+
+    def rotated_padded(self, n_active: int, max_len: int) -> np.ndarray:
+        """Padded view of the rotated-key slab (requires ``rope_dims > 0``).
+
+        Call after :meth:`padded_views` (shares its realigned common start).
+        """
+        if self._k_rot is None:
+            raise RuntimeError("rotated-key slab disabled (rope_dims == 0)")
+        start = int(self.starts[:n_active].min()) if n_active else 0
+        return self._k_rot[:n_active, :, start : start + max_len]
+
+    def positions_row(self, row: int) -> np.ndarray:
+        """Original positions of row ``row``'s live entries, shape ``(1, H, L)``."""
+        start = int(self.starts[row])
+        stop = start + int(self.lengths[row])
+        return self._pos[row : row + 1, :, start:stop]
+
+
+class BatchedLayerView:
+    """Per-layer facade of the batched manager, mirroring ``LayerCacheView``."""
+
+    def __init__(self, manager: "BatchedCacheManager", layer_idx: int):
+        self.manager = manager
+        self.layer_idx = layer_idx
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        self.manager.append_batch(self.layer_idx, k, v)
+
+    def attention_view(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
+        return self.manager.attention_view_batch(self.layer_idx)
+
+    def observe(self, logits: np.ndarray, probs: np.ndarray) -> None:
+        self.manager.observe_batch(self.layer_idx, logits, probs)
+
+
+class BatchedCacheManager:
+    """Owns per-layer batched KV slabs and one eviction policy per sequence.
+
+    The lifecycle mirrors :class:`~repro.kvcache.manager.CacheManager`, but
+    sequences ``join`` and ``retire`` independently and every per-sequence
+    quantity (policy instance, :class:`CacheStats`, position cursor,
+    generation step) lives in a row-indexed list that is compacted together
+    with the slab rows.
+    """
+
+    def __init__(
+        self,
+        n_layers: int,
+        n_heads: int,
+        d_head: int,
+        max_batch: int,
+        positional_mode: str = "original",
+        dtype: np.dtype | str | None = None,
+        rope_dims: int = 0,
+    ):
+        if positional_mode not in ("original", "new"):
+            raise ValueError(f"unknown positional mode {positional_mode!r}")
+        self.n_layers = n_layers
+        self.n_heads = n_heads
+        self.d_head = d_head
+        self.max_batch = max_batch
+        self.positional_mode = positional_mode
+        self.dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+        # Rotated-key caching is only sound for stable original positions —
+        # same rule as the single-sequence manager.
+        self.rope_dims = int(rope_dims) if positional_mode == "original" else 0
+        self.caches = [
+            BatchedLayerKVCache(
+                max_batch, n_heads, d_head, dtype=self.dtype, rope_dims=self.rope_dims
+            )
+            for _ in range(n_layers)
+        ]
+        self.n_active = 0
+        self.policies: list[EvictionPolicy] = []
+        self.stats: list[CacheStats] = []
+        self.current_position: list[int] = []
+        self.generation_step: list[int] = []
+        self.prompt_len: list[int] = []
+        self._step_lengths: list[list[int]] = []
+        self._qpos: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # sequence lifecycle
+    # ------------------------------------------------------------------
+    def join(
+        self,
+        prompt_kv: list[tuple[np.ndarray, np.ndarray]],
+        prompt_attn: list[np.ndarray],
+        prompt_logits: list[np.ndarray],
+        max_new_tokens: int,
+        policy: EvictionPolicy,
+    ) -> int:
+        """Admit one sequence: seed its row from prompt tensors, run the
+        policy's prompt-phase eviction, and return the assigned row index."""
+        if self.n_active >= self.max_batch:
+            raise RuntimeError(f"batch is full ({self.max_batch} rows)")
+        if len(prompt_kv) != self.n_layers:
+            raise ValueError(
+                f"expected {self.n_layers} layers of prompt KV, got {len(prompt_kv)}"
+            )
+        keys0 = prompt_kv[0][0]
+        if keys0.shape[0] != 1:
+            raise ValueError("join admits one sequence at a time (batch dim must be 1)")
+        prompt_len = keys0.shape[2]
+        row = self.n_active
+
+        policy.setup(self.n_layers, self.n_heads, 1, prompt_len, max_new_tokens)
+        needed = prompt_len + max_new_tokens + 1
+        positions = np.arange(prompt_len)
+        pos_bht = np.broadcast_to(positions, (1, self.n_heads, prompt_len))
+        for layer_idx, (keys, values) in enumerate(prompt_kv):
+            cache = self.caches[layer_idx]
+            cache.ensure_capacity(needed)
+            cache.join_row(row, keys, values, pos_bht)
+
+        stats = CacheStats(
+            n_layers=self.n_layers,
+            n_heads=self.n_heads,
+            d_head=self.d_head,
+            batch_size=1,
+            prompt_len=prompt_len,
+        )
+        stats.total_appended += prompt_len * self.n_layers
+        self.policies.append(policy)
+        self.stats.append(stats)
+        self.current_position.append(prompt_len)
+        self.generation_step.append(0)
+        self.prompt_len.append(prompt_len)
+        self._step_lengths.append([])
+        self.n_active += 1
+
+        shared_selection: np.ndarray | None = None
+        for layer_idx in range(self.n_layers):
+            selection = policy.initial_selection(
+                layer_idx, prompt_attn[layer_idx], prompt_logits[layer_idx], positions
+            )
+            if selection is None:
+                continue
+            if getattr(policy, "shared_selection", False):
+                shared_selection = selection
+            else:
+                self._apply_row_selection(layer_idx, row, selection)
+        if shared_selection is not None:
+            for layer_idx in range(self.n_layers):
+                self._apply_row_selection(layer_idx, row, shared_selection)
+        return row
+
+    def retire(self, row: int) -> CacheStats:
+        """Remove a finished sequence; the last active row moves into its slot.
+
+        Returns the sequence's :class:`CacheStats`.  Callers tracking row
+        assignments must note that row ``n_active - 1`` (if different) now
+        lives at ``row``.
+        """
+        if not (0 <= row < self.n_active):
+            raise IndexError(f"row {row} out of range (n_active={self.n_active})")
+        last = self.n_active - 1
+        stats = self.stats[row]
+        for cache in self.caches:
+            cache.free_row(row, last)
+        for values in (
+            self.policies,
+            self.stats,
+            self.current_position,
+            self.generation_step,
+            self.prompt_len,
+            self._step_lengths,
+        ):
+            values[row] = values[last]
+            values.pop()
+        self.n_active -= 1
+        self._qpos = None
+        return stats
+
+    # ------------------------------------------------------------------
+    # decode phase
+    # ------------------------------------------------------------------
+    def layer_views(self) -> list[BatchedLayerView]:
+        """Per-layer facades handed to ``DecoderBlock.decode_step_batch``."""
+        return [BatchedLayerView(self, i) for i in range(self.n_layers)]
+
+    def query_positions(self) -> np.ndarray:
+        """Original position of each active sequence's next token, shape ``(R,)``."""
+        if self._qpos is None:
+            self._qpos = np.asarray(self.current_position, dtype=np.int64)
+        return self._qpos
+
+    def append_batch(self, layer_idx: int, k: np.ndarray, v: np.ndarray) -> None:
+        self.caches[layer_idx].append_rows(self.n_active, k, v, self.query_positions())
+        for stats in self.stats:
+            stats.total_appended += 1
+
+    def attention_view_batch(
+        self, layer_idx: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
+        """``(keys, values, key_positions, query_positions, lengths, keys_rotated)``.
+
+        All tensor outputs are padded to the batch's longest row; ``lengths``
+        gives each row's live entry count.  Rows are bit-identical (within
+        their live region) to the single-sequence attention view.
+        """
+        cache = self.caches[layer_idx]
+        r = self.n_active
+        keys_raw, values, pos, max_len = cache.padded_views(r)
+        lengths = cache.lengths[:r].copy()
+        for i in range(r):
+            self._step_lengths[i].append(int(lengths[i]))
+        keys_rotated = False
+        if self.positional_mode == "original":
+            key_positions = pos
+            query_positions = self.query_positions()
+            if self.rope_dims > 0:
+                keys = cache.rotated_padded(r, max_len)
+                keys_rotated = True
+            else:
+                keys = keys_raw
+        else:
+            keys = keys_raw
+            key_positions = np.broadcast_to(
+                np.arange(max_len), (r, self.n_heads, max_len)
+            )
+            query_positions = lengths - 1
+        return keys, values, key_positions, query_positions, lengths, keys_rotated
+
+    def observe_batch(self, layer_idx: int, logits: np.ndarray, probs: np.ndarray) -> None:
+        """Feed each row's exact-length logits/probs slice to its own policy."""
+        cache = self.caches[layer_idx]
+        for row in range(self.n_active):
+            policy = self.policies[row]
+            length = int(cache.lengths[row])
+            selection = policy.step_selection(
+                layer_idx,
+                logits[row : row + 1, :, :length],
+                probs[row : row + 1, :, :length],
+                cache.positions_row(row),
+                self.generation_step[row] + 1,
+            )
+            if selection is None:
+                continue
+            if getattr(policy, "shared_selection", False):
+                for idx in range(self.n_layers):
+                    self._apply_row_selection(idx, row, selection)
+            else:
+                self._apply_row_selection(layer_idx, row, selection)
+
+    def advance(self) -> None:
+        """Mark the end of one batched decoding step for every active sequence."""
+        for row in range(self.n_active):
+            if self._step_lengths[row]:
+                self.stats[row].record_step(self._step_lengths[row])
+                self._step_lengths[row] = []
+            self.generation_step[row] += 1
+            self.current_position[row] += 1
+        self._qpos = None
+
+    # ------------------------------------------------------------------
+    def _apply_row_selection(self, layer_idx: int, row: int, selection: np.ndarray) -> None:
+        evicted = self.caches[layer_idx].gather_row(row, selection)
+        self.stats[row].total_evicted += evicted
+
+    def cache_lengths(self, row: int) -> list[int]:
+        """Current per-layer cache lengths of one sequence."""
+        return [int(cache.lengths[row]) for cache in self.caches]

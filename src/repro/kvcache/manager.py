@@ -164,7 +164,9 @@ class CacheManager:
         self.generation_step = 0
         self.current_position = 0
         self._qpos_array = None
-        self.policy.setup(self.n_layers, self.n_heads, batch_size, max(prompt_len, 1), max_new_tokens)
+        self.policy.setup(
+            self.n_layers, self.n_heads, batch_size, max(prompt_len, 1), max_new_tokens
+        )
         cache_kwargs = self._make_cache_kwargs(max_new_tokens, 0)
         self.caches = [
             LayerKVCache.empty(batch_size, self.n_heads, self.d_head, **cache_kwargs)

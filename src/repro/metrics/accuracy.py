@@ -9,7 +9,9 @@ import numpy as np
 __all__ = ["multiple_choice_accuracy", "pick_option"]
 
 
-def pick_option(option_log_likelihoods: Sequence[float], normalize_by_length: Sequence[int] | None = None) -> int:
+def pick_option(
+    option_log_likelihoods: Sequence[float], normalize_by_length: Sequence[int] | None = None
+) -> int:
     """Index of the best-scoring option.
 
     When ``normalize_by_length`` is provided the log-likelihoods are divided

@@ -31,7 +31,9 @@ class RougeScore:
         return cls(0.0, 0.0, 0.0)
 
     @classmethod
-    def from_counts(cls, overlap: float, candidate_total: float, reference_total: float) -> "RougeScore":
+    def from_counts(
+        cls, overlap: float, candidate_total: float, reference_total: float
+    ) -> "RougeScore":
         precision = overlap / candidate_total if candidate_total > 0 else 0.0
         recall = overlap / reference_total if reference_total > 0 else 0.0
         if precision + recall == 0:

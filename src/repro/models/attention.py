@@ -191,6 +191,22 @@ class MultiHeadAttention(Module):
         v = self.w_v(x).reshape(b, self.n_heads, self.d_head)
         return q, k, v
 
+    def project_qkv_rows(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Row-exact variant of :meth:`project_qkv` for the batched decode path.
+
+        Each output row is bit-identical to ``project_qkv(x[b:b+1])`` — the
+        projections run the single-row BLAS kernel per row (see
+        ``Linear.forward_rows``), so a batch of sequences decoding together
+        produces the same bits as each sequence decoding alone.
+        """
+        if x.ndim != 2:
+            raise ValueError(f"expected (batch, d_model) input, got shape {x.shape}")
+        b = x.shape[0]
+        q = self.w_q.forward_rows(x).reshape(b, self.n_heads, self.d_head)
+        k = self.w_k.forward_rows(x).reshape(b, self.n_heads, self.d_head)
+        v = self.w_v.forward_rows(x).reshape(b, self.n_heads, self.d_head)
+        return q, k, v
+
     def attend_step(
         self,
         q: np.ndarray,
@@ -268,4 +284,107 @@ class MultiHeadAttention(Module):
         else:
             ctx = (probs[:, :, None, :] @ values)[:, :, 0, :]
         out = self.w_o(ctx.reshape(b, self.d_model))
+        return out, logits, probs
+
+    # ------------------------------------------------------------------
+    # ragged-batch decode path (continuous batching)
+    # ------------------------------------------------------------------
+    def attend_step_batch(
+        self,
+        q: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        query_positions: np.ndarray,
+        key_positions: np.ndarray,
+        lengths: np.ndarray,
+        keys_rotated: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Attend one query token per sequence over a ragged batch of caches.
+
+        ``keys``/``values``/``key_positions`` are padded to the longest
+        sequence (``L_max``); row ``b`` holds ``lengths[b]`` live entries.
+        ``query_positions`` has shape ``(batch,)`` — one position per
+        sequence, since sequences in a continuous batch are at different
+        decoding depths.
+
+        Two execution modes, selected by dtype (same convention as
+        :meth:`attend_step`):
+
+        * **float64 (bit-parity)** — logits come from one padded einsum (the
+          reduction runs over ``d_head`` only, so padding cannot perturb live
+          entries), while softmax and the value reduction run per sequence on
+          exact-length slices: summing over a padded axis would regroup the
+          pairwise reduction and break bit-equality with a sequence decoded
+          alone.  The output projection uses the row-exact kernel.
+        * **float32 (throughput)** — padded slots are masked to ``-inf`` and
+          the whole batch runs through BLAS softmax/matmul in one shot,
+          within the documented float32 tolerance.
+
+        Returns ``(output, logits, probs)`` shaped ``(batch, d_model)`` and
+        ``(batch, heads, L_max)``; rows of ``logits``/``probs`` are valid up
+        to ``lengths[b]`` entries (beyond that: unmasked garbage at float64,
+        ``-inf``/``0`` at float32).
+        """
+        r = q.shape[0]
+        lengths = np.asarray(lengths)
+        query_positions = np.asarray(query_positions)
+
+        if self.positional == "rope":
+            # Per-row positions; elementwise, hence bit-identical per row to
+            # the scalar-position rotation of the single-sequence path.
+            if self._rope_table is not None:
+                q_rot = self._rope_table.rotate(q, query_positions[:, None])
+                k_rot = (
+                    keys
+                    if keys_rotated
+                    else self._rope_table.rotate(keys, key_positions)
+                )
+            else:
+                q_rot = rope_rotate(q, query_positions[:, None], self.rope_dims)
+                k_rot = (
+                    keys
+                    if keys_rotated
+                    else rope_rotate(keys, key_positions, self.rope_dims)
+                )
+        else:
+            q_rot, k_rot = q, keys
+
+        scale = 1.0 / np.sqrt(self.d_head)
+        exact = q_rot.dtype == np.float64
+        if exact:
+            # Reduction over d_head only: padded token slots cannot affect
+            # live entries, so each row is bitwise equal to its solo einsum.
+            logits = np.einsum("bhd,bhld->bhl", q_rot, k_rot) * scale
+        else:
+            logits = (q_rot[:, :, None, :] @ k_rot.swapaxes(-1, -2))[:, :, 0, :] * scale
+
+        if self.positional == "alibi":
+            logits = logits + alibi_bias_step(self.n_heads, query_positions, key_positions)
+
+        if exact:
+            if r > 0 and int(lengths.min()) == logits.shape[-1]:
+                # All sequences at the same depth (steady state of a fixed
+                # kv_budget policy): no padding exists, and softmax/einsum
+                # reduce each row independently — one batched call is bitwise
+                # equal to the per-row loop.
+                probs = ops.softmax(logits, axis=-1)
+                ctx = np.einsum("bhl,bhld->bhd", probs, values)
+            else:
+                probs = np.zeros_like(logits)
+                ctx = np.empty((r, self.n_heads, self.d_head), dtype=logits.dtype)
+                for b in range(r):
+                    live = int(lengths[b])
+                    p = ops.softmax(logits[b : b + 1, :, :live], axis=-1)
+                    probs[b, :, :live] = p[0]
+                    ctx[b] = np.einsum(
+                        "bhl,bhld->bhd", p, values[b : b + 1, :, :live]
+                    )[0]
+            out = self.w_o.forward_rows(ctx.reshape(r, self.d_model))
+        else:
+            max_len = logits.shape[-1]
+            mask = np.arange(max_len) >= lengths[:, None, None]
+            logits = np.where(mask, -np.inf, logits)
+            probs = ops.softmax(logits, axis=-1)
+            ctx = (probs[:, :, None, :] @ values)[:, :, 0, :]
+            out = self.w_o(ctx.reshape(r, self.d_model))
         return out, logits, probs

@@ -11,7 +11,30 @@ from repro.models.config import ModelConfig
 from repro.models.layers import LayerNorm, Module
 from repro.models.mlp import MLP
 
-__all__ = ["DecoderBlock", "LayerDecodeCache"]
+__all__ = ["DecoderBlock", "LayerDecodeCache", "BatchedLayerDecodeCache"]
+
+
+class BatchedLayerDecodeCache(Protocol):
+    """Interface a ragged-batch KV cache must implement for continuous batching.
+
+    Mirrors :class:`LayerDecodeCache`, but every tensor carries one row per
+    in-flight sequence and ``attention_view`` additionally returns per-row
+    live lengths (rows are padded to the longest sequence).  The concrete
+    implementation is :class:`repro.kvcache.batch.BatchedLayerView`.
+    """
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Store each sequence's new key/value (shape ``(batch, heads, d_head)``)."""
+
+    def attention_view(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
+        """Return ``(keys, values, key_positions, query_positions, lengths,
+        keys_rotated)`` — padded to the longest row; ``lengths[b]`` gives row
+        ``b``'s live entry count and ``query_positions`` is per-row."""
+
+    def observe(self, logits: np.ndarray, probs: np.ndarray) -> None:
+        """Feed padded attention logits/probabilities to per-sequence policies."""
 
 
 class LayerDecodeCache(Protocol):
@@ -97,3 +120,38 @@ class DecoderBlock(Module):
         layer_cache.observe(logits, probs)
         x = x + attn_out
         return x + self.mlp(self.ln_mlp(x))
+
+    def decode_step_batch(
+        self, x: np.ndarray, layer_cache: BatchedLayerDecodeCache
+    ) -> np.ndarray:
+        """Process one token per in-flight sequence through the block.
+
+        ``x`` has shape ``(batch, d_model)`` with one row per sequence; each
+        sequence attends over its own (ragged) cache row.  At float64 the
+        projections use the row-exact kernels, making every row bit-identical
+        to :meth:`decode_step` on that sequence alone; at float32 the
+        projections run as one batched BLAS matmul (documented tolerance).
+        """
+        exact = x.dtype == np.float64
+        a_in = self.ln_attn(x)
+        if exact:
+            q, k, v = self.attn.project_qkv_rows(a_in)
+        else:
+            q, k, v = self.attn.project_qkv(a_in)
+        layer_cache.append(k, v)
+        keys, values, key_positions, query_positions, lengths, keys_rotated = (
+            layer_cache.attention_view()
+        )
+        attn_out, logits, probs = self.attn.attend_step_batch(
+            q,
+            keys,
+            values,
+            query_positions,
+            key_positions,
+            lengths,
+            keys_rotated=keys_rotated,
+        )
+        layer_cache.observe(logits, probs)
+        x = x + attn_out
+        h = self.ln_mlp(x)
+        return x + (self.mlp.forward_rows(h) if exact else self.mlp(h))

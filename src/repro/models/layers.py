@@ -14,7 +14,26 @@ import numpy as np
 
 from repro.models import tensor_ops as ops
 
-__all__ = ["Module", "Linear", "LayerNorm", "Embedding"]
+__all__ = ["Module", "Linear", "LayerNorm", "Embedding", "dot_rows"]
+
+
+def dot_rows(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """Row-exact batched matmul: each output row bitwise equals ``x[b:b+1] @ weight``.
+
+    BLAS matmul kernels pick different reduction orders for different batch
+    sizes, so ``(B, d) @ W`` is *not* bitwise row-equal to ``(1, d) @ W``.
+    This applies the single-row kernel per row instead (a 1-D row through
+    BLAS produces the same bits as the 2-D single-row call — pinned by
+    ``tests/models/test_batched_decode.py``), which is what keeps the batched
+    float64 decode path bit-identical to solo decoding.
+    """
+    if x.shape[0] == 1:
+        return x @ weight
+    dtype = weight.dtype if x.dtype == weight.dtype else np.result_type(x, weight)
+    out = np.empty((x.shape[0], weight.shape[1]), dtype=dtype)
+    for b in range(x.shape[0]):
+        np.dot(x[b], weight, out=out[b])
+    return out
 
 
 class Module:
@@ -109,6 +128,17 @@ class Linear(Module):
         """Apply the projection; caches the input for the backward pass."""
         self._x = x
         out = x @ self.params["W"]
+        out += self.params["b"]
+        return out
+
+    def forward_rows(self, x: np.ndarray) -> np.ndarray:
+        """Row-exact batched projection for the bit-parity decode path.
+
+        Each output row is bit-identical to ``forward(x[b:b+1])`` (see
+        :func:`dot_rows`).  Used by the batched decode path at float64; does
+        not cache activations (inference only, no backward).
+        """
+        out = dot_rows(x, self.params["W"])
         out += self.params["b"]
         return out
 

@@ -25,6 +25,14 @@ class MLP(Module):
         self._pre_act = hidden
         return self.fc_out(ops.gelu(hidden))
 
+    def forward_rows(self, x: np.ndarray) -> np.ndarray:
+        """Row-exact batched forward (bit-parity decode path, no backward).
+
+        GeLU is elementwise and the projections use the single-row kernel per
+        row, so each output row is bit-identical to ``forward(x[b:b+1])``.
+        """
+        return self.fc_out.forward_rows(ops.gelu(self.fc_in.forward_rows(x)))
+
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)
 

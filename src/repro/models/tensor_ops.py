@@ -80,7 +80,8 @@ def gelu(x: np.ndarray) -> np.ndarray:
     is exactly commutative and scaling by 0.5 is exact.
     """
     x = _as_float(x)
-    inner = x**3
+    inner = x * x
+    inner *= x
     inner *= 0.044715
     inner += x
     inner *= _GELU_C

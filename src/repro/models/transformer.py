@@ -7,9 +7,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.models import tensor_ops as ops
-from repro.models.block import DecoderBlock, LayerDecodeCache
+from repro.models.block import BatchedLayerDecodeCache, DecoderBlock, LayerDecodeCache
 from repro.models.config import ModelConfig
-from repro.models.layers import Embedding, LayerNorm, Linear, Module
+from repro.models.layers import Embedding, LayerNorm, Linear, Module, dot_rows
 
 __all__ = ["DecoderLM"]
 
@@ -173,7 +173,10 @@ class DecoderLM(Module):
     # incremental decode path
     # ------------------------------------------------------------------
     def decode_step(
-        self, token_ids: np.ndarray, positions: np.ndarray | int, layer_caches: Sequence[LayerDecodeCache]
+        self,
+        token_ids: np.ndarray,
+        positions: np.ndarray | int,
+        layer_caches: Sequence[LayerDecodeCache],
     ) -> np.ndarray:
         """Run one decoding step through all layers using per-layer caches.
 
@@ -188,6 +191,39 @@ class DecoderLM(Module):
             h = block.decode_step(h, cache)
         h = self.ln_final(h)
         return self.lm_logits(h)
+
+    def decode_step_batch(
+        self,
+        token_ids: np.ndarray,
+        positions: np.ndarray,
+        layer_caches: Sequence[BatchedLayerDecodeCache],
+    ) -> np.ndarray:
+        """One decoding step for a ragged batch of independent sequences.
+
+        ``token_ids`` and ``positions`` have shape ``(batch,)`` — each
+        sequence contributes one token at its own position.  Embedding,
+        layer norms and activations are row-independent; projections use the
+        row-exact kernels at float64 — so each row of the returned logits
+        ``(batch, vocab)`` is bit-identical to :meth:`decode_step` run on
+        that sequence alone.  At float32, projections run fully batched.
+        """
+        if len(layer_caches) != len(self.blocks):
+            raise ValueError(
+                f"expected {len(self.blocks)} layer caches, got {len(layer_caches)}"
+            )
+        h = self.embed_step(token_ids, positions)
+        for block, cache in zip(self.blocks, layer_caches):
+            h = block.decode_step_batch(h, cache)
+        h = self.ln_final(h)
+        if h.dtype == np.float64:
+            return self.lm_logits_rows(h)
+        return self.lm_logits(h)
+
+    def lm_logits_rows(self, hidden: np.ndarray) -> np.ndarray:
+        """Row-exact LM head for 2-D hidden states (bit-parity decode path)."""
+        if self.lm_head is not None:
+            return self.lm_head.forward_rows(hidden)
+        return dot_rows(hidden, self.token_embedding.params["weight"].T)
 
     def collect_attention(self) -> list[np.ndarray]:
         """Return the stored attention maps of every layer (after a forward with

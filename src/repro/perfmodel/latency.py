@@ -18,9 +18,8 @@ exactly the regime the paper analyses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from repro.perfmodel.hardware import HardwareSpec, A100_80GB
 from repro.perfmodel.memory import MemoryModel, PerfModelSpec

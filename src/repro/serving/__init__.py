@@ -1,0 +1,19 @@
+"""Continuous-batching serving: request model, FCFS scheduler, batched engine.
+
+See ``docs/serving.md`` for the request lifecycle, scheduler budgets and the
+batching bit-exactness invariants.
+"""
+
+from repro.serving.engine import BatchedGenerator, ContinuousBatchingEngine
+from repro.serving.request import FinishReason, Request, RequestState, RequestStatus
+from repro.serving.scheduler import FCFSScheduler
+
+__all__ = [
+    "BatchedGenerator",
+    "ContinuousBatchingEngine",
+    "FCFSScheduler",
+    "Request",
+    "RequestState",
+    "RequestStatus",
+    "FinishReason",
+]

@@ -1,0 +1,395 @@
+"""Continuous-batching serving engine over the batched slab KV-cache.
+
+The engine runs many generation requests concurrently by executing **one
+batched forward pass per decoding step** over a ragged batch of sequences,
+admitting queued requests and retiring finished ones *between* steps — the
+standard continuous-batching (in-flight batching) discipline of modern LLM
+serving systems, built here on the repo's NumPy substrate.
+
+Execution model
+---------------
+* **Prefill** — an admitted request's prompt runs through the ordinary
+  full-sequence forward pass (identical to ``Generator._prompt_forward``),
+  its KV tensors join a row of the shared :class:`BatchedCacheManager`, and
+  its eviction policy performs the prompt-phase reduction.
+* **Decode** — every engine step advances all running requests by one token
+  through :meth:`DecoderLM.decode_step_batch`: dense layers run batched over
+  the ``(R, d_model)`` hidden rows while attention is ragged (each sequence
+  attends over its own cache row, padded to the batch maximum).
+* **Scheduling** — a :class:`FCFSScheduler` admits requests under a
+  batch-size and a total-token budget; retirement frees the row (and its
+  budget) for the next queued request.
+
+Bit-exactness invariant
+-----------------------
+At float64 every request's output — token sequence, log-probabilities and
+cache statistics — is **bit-identical** to running that request alone through
+``Generator.generate``.  This holds because every shared computation is
+row-independent (embeddings, layer norms, activations, softmax over exact
+lengths, per-row BLAS projections) and all cross-request state (eviction
+policies, score accumulators, sampler RNGs, KV rows) is kept per request.
+Consequently batch composition, admission order and retirement timing can
+never change what any request generates — the scheduler only affects *when*.
+At float32 the engine switches to fully batched BLAS projections and masked
+padded attention (the documented inference tolerance mode) for throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.policies import EvictionPolicy, FullAttentionPolicy
+from repro.generation.generator import GenerationResult, Generator
+from repro.generation.sampler import Sampler, make_sampler, sample_rows
+from repro.kvcache.batch import BatchedCacheManager
+from repro.kvcache.stats import CacheStats
+from repro.models.config import GenerationConfig
+from repro.models.tensor_ops import log_softmax
+from repro.models.transformer import DecoderLM
+from repro.serving.request import FinishReason, Request, RequestState, RequestStatus
+from repro.serving.scheduler import FCFSScheduler
+
+__all__ = ["ContinuousBatchingEngine", "BatchedGenerator"]
+
+
+class ContinuousBatchingEngine:
+    """Schedules and executes a stream of generation requests as one batch.
+
+    Parameters
+    ----------
+    model:
+        The decoder LM shared by all requests.
+    policy_factory:
+        Zero-argument callable producing a fresh :class:`EvictionPolicy` for
+        each request (per-request instances keep policy state isolated).
+        Defaults to full attention.
+    positional_mode:
+        ``"original"`` or ``"new"``; defaults to the mode declared by the
+        first admitted request's policy.  All requests in one engine must
+        agree — the batched attention step applies one mode.
+    scheduler:
+        Admission scheduler; defaults to an :class:`FCFSScheduler` built from
+        ``max_batch_size``/``max_total_tokens``.
+    """
+
+    def __init__(
+        self,
+        model: DecoderLM,
+        policy_factory: Callable[[], EvictionPolicy] | None = None,
+        positional_mode: str | None = None,
+        scheduler: FCFSScheduler | None = None,
+        max_batch_size: int = 8,
+        max_total_tokens: int | None = None,
+    ):
+        self.model = model
+        self.policy_factory = policy_factory or FullAttentionPolicy
+        self.positional_mode = positional_mode
+        self.scheduler = scheduler or FCFSScheduler(max_batch_size, max_total_tokens)
+        self._manager: BatchedCacheManager | None = None
+        self._layer_views: list | None = None
+        #: Running requests, index == KV-cache row (persistent batch).
+        self._states: list[RequestState] = []
+        #: Latest logits, one row per running request (aligned with _states).
+        self._next_logits: np.ndarray | None = None
+        self._finished: list[RequestState] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        prompt_ids,
+        config: GenerationConfig | None = None,
+        sampler: Sampler | None = None,
+        policy: EvictionPolicy | None = None,
+    ) -> RequestState:
+        """Queue one request; returns its state handle (results after finish)."""
+        config = config or GenerationConfig()
+        request = Request.from_config(self._next_id, prompt_ids, config)
+        self._next_id += 1
+        state = RequestState(
+            request=request,
+            sampler=sampler
+            or make_sampler(config.temperature, config.top_k, config.seed),
+            policy=policy or self.policy_factory(),
+        )
+        self.scheduler.submit(state)
+        return state
+
+    @property
+    def n_running(self) -> int:
+        return len(self._states)
+
+    @property
+    def n_queued(self) -> int:
+        return len(self.scheduler)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._states) or bool(len(self.scheduler))
+
+    # ------------------------------------------------------------------
+    # engine loop
+    # ------------------------------------------------------------------
+    def step(self) -> list[RequestState]:
+        """Advance the batch by one decoding step.
+
+        Order of operations (the continuous-batching contract): record the
+        previous step's sampled tokens and retire finished requests, admit
+        queued requests into the freed capacity (prefill + first token),
+        then run one batched decode step for everything still running.
+        Returns the requests that finished during this step.
+        """
+        n_done = len(self._finished)
+        self._record_rows(range(len(self._states)))
+        tokens_in_flight = sum(st.request.token_budget for st in self._states)
+        admitted = self.scheduler.admit(len(self._states), tokens_in_flight)
+        for state in admitted:
+            self._prefill(state)
+        if admitted:
+            first_new = len(self._states) - len(admitted)
+            self._record_rows(range(first_new, len(self._states)))
+        self._decode()
+        return self._finished[n_done:]
+
+    def run(self) -> list[RequestState]:
+        """Run until the queue and the batch are both empty; returns all
+        requests finished during this call, in completion order."""
+        n_done = len(self._finished)
+        while self.has_work:
+            self.step()
+        return self._finished[n_done:]
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    def _prefill(self, state: RequestState) -> None:
+        """Prompt phase for one admitted request (identical math to
+        ``Generator._prompt_forward``) + row join + first-token sampling."""
+        logits = self.model.forward(state.request.prompt_ids, store_attention=True)
+        prompt_kv, prompt_attn, prompt_scores = [], [], []
+        for block in self.model.blocks:
+            if block.attn.last_kv is None or block.attn.last_scores is None:
+                raise RuntimeError("prompt forward did not store attention tensors")
+            prompt_kv.append(block.attn.last_kv)
+            prompt_attn.append(block.attn.last_attention)
+            prompt_scores.append(block.attn.last_scores)
+
+        if self._manager is None:
+            self._build_manager(state.policy)
+        mode = self.positional_mode or state.policy.config.positional_mode
+        if mode != self._manager.positional_mode:
+            raise ValueError(
+                f"request {state.request_id} uses positional mode {mode!r} but the "
+                f"batch runs in {self._manager.positional_mode!r} — one engine "
+                "serves one positional mode"
+            )
+        row = self._manager.join(
+            prompt_kv,
+            prompt_attn,
+            prompt_scores,
+            state.request.max_new_tokens,
+            state.policy,
+        )
+        assert row == len(self._states), "engine rows out of sync with cache rows"
+
+        next_row = logits[:, -1, :]
+        if self._next_logits is None or not self._states:
+            self._next_logits = next_row
+        else:
+            self._next_logits = np.concatenate([self._next_logits, next_row])
+        self._states.append(state)
+        state.status = RequestStatus.RUNNING
+        state.pending_token = int(state.sampler(next_row)[0])
+
+    def _record_rows(self, rows) -> None:
+        """Record each row's pending token (the previous sample), accumulate
+        its log-probability, and retire rows that hit EOS or the budget."""
+        rows = list(rows)
+        if not rows:
+            return
+        if len(rows) == len(self._states):
+            row_logits = self._next_logits
+        else:
+            row_logits = self._next_logits[np.asarray(rows)]
+        logprobs = log_softmax(row_logits, axis=-1)
+        finishing: list[tuple[int, FinishReason]] = []
+        for i, row in enumerate(rows):
+            state = self._states[row]
+            token = state.pending_token
+            state.total_logprob += float(logprobs[i, token])
+            state.tokens.append(token)
+            eos = state.request.eos_token_id
+            if eos is not None and token == eos:
+                finishing.append((row, FinishReason.EOS))
+            elif state.step == state.request.max_new_tokens - 1:
+                finishing.append((row, FinishReason.LENGTH))
+            else:
+                state.step += 1
+        # Retire from the highest row down so persistent-batch moves (last row
+        # into the freed slot) never disturb a lower row still to be retired.
+        for row, reason in sorted(finishing, reverse=True):
+            self._retire(row, reason)
+
+    def _retire(self, row: int, reason: FinishReason) -> None:
+        state = self._states[row]
+        state.finish_reason = reason
+        state.status = RequestStatus.FINISHED
+        state.pending_token = None
+        state.n_steps = self._manager.generation_step[row]
+        state.cache_stats = self._manager.retire(row)
+        last = len(self._states) - 1
+        if row != last:
+            self._states[row] = self._states[last]
+            self._next_logits[row] = self._next_logits[last]
+        self._states.pop()
+        self._next_logits = self._next_logits[:last]
+        self._finished.append(state)
+
+    def _decode(self) -> None:
+        """One batched decode step + per-request sampling of the next token."""
+        if not self._states:
+            return
+        tokens = np.asarray([st.pending_token for st in self._states], dtype=np.int64)
+        positions = self._manager.query_positions()
+        self._next_logits = self.model.decode_step_batch(
+            tokens, positions, self._layer_views
+        )
+        self._manager.advance()
+        sampled = sample_rows([st.sampler for st in self._states], self._next_logits)
+        for row, state in enumerate(self._states):
+            state.pending_token = int(sampled[row])
+
+    def _build_manager(self, first_policy: EvictionPolicy) -> None:
+        config = self.model.config
+        mode = self.positional_mode or first_policy.config.positional_mode
+        self._manager = BatchedCacheManager(
+            n_layers=config.n_layers,
+            n_heads=config.n_heads,
+            d_head=config.d_head,
+            max_batch=self.scheduler.max_batch_size,
+            positional_mode=mode,
+            dtype=config.np_dtype,
+            rope_dims=config.rope_dims if config.positional == "rope" else 0,
+        )
+        self._layer_views = self._manager.layer_views()
+
+
+def _merge_results(results: Sequence[GenerationResult]) -> GenerationResult:
+    """Fold per-request results into one ``Generator``-shaped result.
+
+    Sequences/log-probs keep submission order.  Cache counters are summed
+    across requests; per-step length traces are kept from the first request
+    (per-request traces remain available on each request's own result).
+    """
+    if len(results) == 1:
+        return results[0]
+    first = results[0].cache_stats
+    merged_stats = CacheStats(
+        n_layers=first.n_layers,
+        n_heads=first.n_heads,
+        d_head=first.d_head,
+        batch_size=len(results),
+        prompt_len=first.prompt_len,
+        lengths_per_step=[list(step) for step in first.lengths_per_step],
+        total_appended=sum(r.cache_stats.total_appended for r in results),
+        total_evicted=sum(r.cache_stats.total_evicted for r in results),
+    )
+    return GenerationResult(
+        sequences=[r.sequences[0] for r in results],
+        prompt_lengths=[r.prompt_lengths[0] for r in results],
+        cache_stats=merged_stats,
+        policy=results[0].policy,
+        n_steps=max(r.n_steps for r in results),
+        log_probs=[r.log_probs[0] for r in results],
+    )
+
+
+class BatchedGenerator:
+    """``Generator``-compatible facade over the continuous-batching engine.
+
+    Existing pipelines call ``generate(prompt_ids, config, sampler)`` and get
+    a :class:`GenerationResult` back; under the hood every sequence becomes
+    an independent request decoded in one continuous batch.  For a single
+    sequence the result is field-for-field identical to
+    :meth:`Generator.generate` at float64.
+
+    Unlike :class:`Generator` (one policy instance, one sequence at a time),
+    concurrent requests need isolated policy state — so this takes a
+    ``policy_factory`` producing a fresh policy per request.
+    """
+
+    def __init__(
+        self,
+        model: DecoderLM,
+        policy_factory: Callable[[], EvictionPolicy] | None = None,
+        positional_mode: str | None = None,
+        max_batch_size: int = 8,
+        max_total_tokens: int | None = None,
+    ):
+        self.model = model
+        self.policy_factory = policy_factory or FullAttentionPolicy
+        self.positional_mode = positional_mode
+        self.max_batch_size = max_batch_size
+        self.max_total_tokens = max_total_tokens
+
+    def _engine(self) -> ContinuousBatchingEngine:
+        return ContinuousBatchingEngine(
+            self.model,
+            policy_factory=self.policy_factory,
+            positional_mode=self.positional_mode,
+            max_batch_size=self.max_batch_size,
+            max_total_tokens=self.max_total_tokens,
+        )
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        prompt_ids,
+        config: GenerationConfig | None = None,
+        sampler: Sampler | None = None,
+    ) -> GenerationResult:
+        """Drop-in ``Generator.generate``: 1-D prompt → one request; a 2-D
+        prompt batch → one request per row, decoded together.
+
+        An explicitly passed ``sampler`` is shared by every row — fine for
+        the (stateless) greedy sampler; stochastic multi-row workloads should
+        omit it so each request gets its own seeded sampler.
+        """
+        prompts = Generator._as_batch(prompt_ids)
+        if prompts.shape[0] == 0:
+            raise ValueError("prompt batch must contain at least one sequence")
+        results = self.generate_batch(list(prompts), config, sampler=sampler)
+        return _merge_results(results)
+
+    def generate_batch(
+        self,
+        prompts: Sequence,
+        config: GenerationConfig | Sequence[GenerationConfig] | None = None,
+        sampler: Sampler | None = None,
+    ) -> list[GenerationResult]:
+        """Generate for many prompts as one continuous batch.
+
+        ``config`` may be one shared :class:`GenerationConfig` or one per
+        prompt.  Results come back in submission order.
+        """
+        if len(prompts) == 0:
+            return []
+        if config is None or isinstance(config, GenerationConfig):
+            configs = [config] * len(prompts)
+        else:
+            configs = list(config)
+            if len(configs) != len(prompts):
+                raise ValueError(
+                    f"got {len(configs)} configs for {len(prompts)} prompts"
+                )
+        engine = self._engine()
+        states = [
+            engine.submit(prompt, cfg, sampler=sampler)
+            for prompt, cfg in zip(prompts, configs)
+        ]
+        engine.run()
+        return [state.result() for state in states]

@@ -1,0 +1,134 @@
+"""Request model for the continuous-batching serving engine.
+
+A :class:`Request` is the immutable description of one generation job — the
+prompt, the decoding budget and the sampling configuration.  The engine wraps
+it in a :class:`RequestState` that tracks the mutable per-request machinery:
+lifecycle status, the request's own sampler and eviction-policy instances
+(per-request instances are what make batched execution bit-identical to solo
+execution — policy score accumulators and sampler RNG streams never mix
+between requests), generated tokens and accumulated log-probability.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.generation.generator import GenerationResult
+from repro.models.config import GenerationConfig
+
+if TYPE_CHECKING:
+    from repro.core.policies import EvictionPolicy
+    from repro.generation.sampler import Sampler
+    from repro.kvcache.stats import CacheStats
+
+__all__ = ["Request", "RequestState", "RequestStatus", "FinishReason"]
+
+
+class RequestStatus(enum.Enum):
+    """Lifecycle of a request inside the engine."""
+
+    QUEUED = "queued"  # submitted, waiting for admission
+    RUNNING = "running"  # prefilled, decoding in the batch
+    FINISHED = "finished"  # retired (EOS or token budget)
+
+
+class FinishReason(enum.Enum):
+    """Why a request retired from the batch."""
+
+    EOS = "eos"  # sampled the end-of-sequence token
+    LENGTH = "length"  # reached max_new_tokens
+
+
+@dataclass(frozen=True)
+class Request:
+    """One generation job submitted to the serving engine."""
+
+    request_id: int
+    prompt_ids: np.ndarray  # shape (1, T), int64
+    max_new_tokens: int = 32
+    eos_token_id: int | None = None
+    temperature: float = 1.0
+    top_k: int = 0
+    seed: int = 0
+
+    @property
+    def prompt_len(self) -> int:
+        return int(self.prompt_ids.shape[1])
+
+    @property
+    def token_budget(self) -> int:
+        """Worst-case sequence length — the unit of the scheduler's token budget."""
+        return self.prompt_len + self.max_new_tokens
+
+    @classmethod
+    def from_config(
+        cls, request_id: int, prompt_ids, config: GenerationConfig | None = None
+    ) -> "Request":
+        """Build a request from a prompt and a :class:`GenerationConfig`."""
+        config = config or GenerationConfig()
+        prompt = np.asarray(prompt_ids, dtype=np.int64)
+        if prompt.ndim == 1:
+            prompt = prompt[None, :]
+        if prompt.ndim != 2 or prompt.shape[0] != 1:
+            raise ValueError(
+                f"a request holds exactly one sequence; got prompt shape {prompt.shape}"
+            )
+        if prompt.shape[1] == 0:
+            raise ValueError("prompt must contain at least one token")
+        return cls(
+            request_id=request_id,
+            prompt_ids=prompt,
+            max_new_tokens=config.max_new_tokens,
+            eos_token_id=config.eos_token_id,
+            temperature=config.temperature,
+            top_k=config.top_k,
+            seed=config.seed,
+        )
+
+
+@dataclass
+class RequestState:
+    """Mutable engine-side state of one request."""
+
+    request: Request
+    sampler: "Sampler"
+    policy: "EvictionPolicy"
+    status: RequestStatus = RequestStatus.QUEUED
+    tokens: list[int] = field(default_factory=list)
+    total_logprob: float = 0.0
+    #: Index of the current iteration of the (replicated) generation loop.
+    step: int = 0
+    #: Token sampled from the latest logits, not yet recorded in ``tokens``.
+    pending_token: int | None = None
+    finish_reason: FinishReason | None = None
+    cache_stats: "CacheStats | None" = None
+    n_steps: int = 0
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+    @property
+    def finished(self) -> bool:
+        return self.status is RequestStatus.FINISHED
+
+    def result(self) -> GenerationResult:
+        """The finished request's output in :class:`GenerationResult` form.
+
+        Field-for-field identical to what ``Generator.generate`` returns for
+        the same request run alone (the golden-equivalence tests pin this).
+        """
+        if not self.finished:
+            raise RuntimeError(f"request {self.request_id} has not finished")
+        return GenerationResult(
+            sequences=[list(self.tokens)],
+            prompt_lengths=[self.request.prompt_len],
+            cache_stats=self.cache_stats,
+            policy=self.policy.describe(),
+            n_steps=self.n_steps,
+            log_probs=[float(self.total_logprob)],
+        )

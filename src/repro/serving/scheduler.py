@@ -1,0 +1,93 @@
+"""Admission scheduling for the continuous-batching engine.
+
+The scheduler decides *when* a queued request joins the running batch; the
+engine decides *how* the batch executes.  :class:`FCFSScheduler` implements
+strict first-come-first-served admission under two budgets:
+
+``max_batch_size``
+    Upper bound on concurrently decoding sequences — the width of the
+    persistent batch (and of the KV slabs backing it).
+
+``max_total_tokens``
+    Upper bound on the sum of worst-case sequence lengths
+    (``prompt_len + max_new_tokens``) across running requests.  This caps the
+    KV-cache memory the batch can ever need, so admission never has to evict
+    or preempt a running request mid-flight.
+
+Admission is head-of-line blocking by design: if the oldest queued request
+does not fit, nothing behind it is admitted either.  Skipping ahead would
+improve utilization slightly but makes admission latency unpredictable under
+load; and because batched execution is bit-exact per sequence, admission
+order affects *when* a request finishes, never *what* it generates (the
+property tests pin this invariant).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.serving.request import RequestState
+
+__all__ = ["FCFSScheduler"]
+
+
+class FCFSScheduler:
+    """Strict first-come-first-served admission with batch and token budgets."""
+
+    def __init__(self, max_batch_size: int = 8, max_total_tokens: int | None = None):
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if max_total_tokens is not None and max_total_tokens <= 0:
+            raise ValueError("max_total_tokens must be positive (or None)")
+        self.max_batch_size = max_batch_size
+        self.max_total_tokens = max_total_tokens
+        self._queue: deque[RequestState] = deque()
+
+    # ------------------------------------------------------------------
+    def submit(self, state: RequestState) -> None:
+        """Queue a request for admission.
+
+        Raises if the request can never fit the token budget — admitting it
+        would deadlock the queue behind it.
+        """
+        cost = state.request.token_budget
+        if self.max_total_tokens is not None and cost > self.max_total_tokens:
+            raise ValueError(
+                f"request {state.request_id} needs {cost} tokens, exceeding the "
+                f"engine's max_total_tokens budget of {self.max_total_tokens}"
+            )
+        self._queue.append(state)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def pending(self) -> tuple[RequestState, ...]:
+        """Queued requests in admission order (read-only snapshot)."""
+        return tuple(self._queue)
+
+    # ------------------------------------------------------------------
+    def admit(self, n_running: int, tokens_in_flight: int) -> list[RequestState]:
+        """Pop every queued request that fits the current budgets, in order.
+
+        Parameters
+        ----------
+        n_running:
+            Number of sequences currently decoding in the batch.
+        tokens_in_flight:
+            Sum of ``token_budget`` over those sequences.
+        """
+        admitted: list[RequestState] = []
+        while self._queue:
+            head = self._queue[0]
+            if n_running + len(admitted) >= self.max_batch_size:
+                break
+            cost = head.request.token_budget
+            if (
+                self.max_total_tokens is not None
+                and tokens_in_flight + cost > self.max_total_tokens
+            ):
+                break
+            admitted.append(self._queue.popleft())
+            tokens_in_flight += cost
+        return admitted

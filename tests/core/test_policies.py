@@ -28,7 +28,9 @@ def prompt_tensors(rng, batch=1, heads=2, t=20):
 
 
 def setup_policy(policy, prompt_len=20, heads=2, max_new=10):
-    policy.setup(n_layers=2, n_heads=heads, batch_size=1, prompt_len=prompt_len, max_new_tokens=max_new)
+    policy.setup(
+        n_layers=2, n_heads=heads, batch_size=1, prompt_len=prompt_len, max_new_tokens=max_new
+    )
     return policy
 
 

@@ -45,7 +45,12 @@ class TestConversation:
 class TestFewShot:
     def test_all_four_tasks_exist(self):
         assert len(FEWSHOT_TASKS) == 4
-        assert {"copa-synthetic", "piqa-synthetic", "openbookqa-synthetic", "winogrande-synthetic"} == set(
+        assert {
+            "copa-synthetic",
+            "piqa-synthetic",
+            "openbookqa-synthetic",
+            "winogrande-synthetic",
+        } == set(
             FEWSHOT_TASKS
         )
 
@@ -84,7 +89,9 @@ class TestFewShot:
         assert len(five[0]["prompt_ids"]) > 2 * len(zero[0]["prompt_ids"])
 
     def test_exemplars_do_not_overlap_queries(self, world):
-        task = make_fewshot_task("winogrande-synthetic", world, FewShotConfig(n_examples=10, seed=0))
+        task = make_fewshot_task(
+            "winogrande-synthetic", world, FewShotConfig(n_examples=10, seed=0)
+        )
         exemplars = task.examples[-3:]
         prompt = task.build_prompt(task.examples[0], 3, exemplars)
         assert task.examples[0].prompt_text() in prompt

@@ -1,8 +1,5 @@
 """Tests for the synthetic world generator."""
 
-import numpy as np
-import pytest
-
 from repro.data.world import Fact, SyntheticWorld
 
 

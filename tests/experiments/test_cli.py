@@ -1,7 +1,5 @@
 """Tests for the experiment command-line interface."""
 
-import pytest
-
 from repro.experiments.cli import EXPERIMENTS, main
 
 

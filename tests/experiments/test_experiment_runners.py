@@ -64,7 +64,9 @@ class TestAccuracyRunners:
         assert {row[1] for row in table.rows} == {"full", "key-only", "window", "h2o"}
 
     def test_long_context_sweep(self, context):
-        table = run_long_context_sweep(budgets=(0.3,), policies=("keyformer",), limit=1, context=context)
+        table = run_long_context_sweep(
+            budgets=(0.3,), policies=("keyformer",), limit=1, context=context
+        )
         assert len(table.rows) == 2  # full + keyformer@0.3
         assert table.rows[0][1] == "full"
 
@@ -144,7 +146,9 @@ class TestPerformanceRunners:
 
 class TestAttentionAnalysisRunners:
     def test_fig3_sparsity_and_cdf(self, context):
-        sparsity, cdf = run_fig3_sparsity_and_cdf(models=("gptj_mini",), n_examples=1, context=context)
+        sparsity, cdf = run_fig3_sparsity_and_cdf(
+            models=("gptj_mini",), n_examples=1, context=context
+        )
         assert len(sparsity.rows) == 2  # one row per layer
         mass = cdf.column("attention_mass")
         assert all(b >= a - 1e-9 for a, b in zip(mass, mass[1:]))

@@ -85,7 +85,9 @@ class TestGenerationBehaviour:
 
     def test_policy_description_attached(self, tiny_rope_model, rng):
         generator = Generator(tiny_rope_model, make_policy("window", kv_fraction=0.3))
-        result = generator.generate(rng.integers(0, 64, size=10), GenerationConfig(max_new_tokens=3))
+        result = generator.generate(
+            rng.integers(0, 64, size=10), GenerationConfig(max_new_tokens=3)
+        )
         assert result.policy["policy"] == "window"
 
     def test_rejects_empty_prompt(self, tiny_rope_model):
@@ -105,7 +107,10 @@ class TestGenerationBehaviour:
         ).generate(prompt, config)
         # The two positional treatments are genuinely different computations;
         # they may coincidentally agree on tokens but the cache positions differ.
-        assert original.cache_stats.peak_cache_length() == renumbered.cache_stats.peak_cache_length()
+        assert (
+            original.cache_stats.peak_cache_length()
+            == renumbered.cache_stats.peak_cache_length()
+        )
 
 
 class TestScoring:

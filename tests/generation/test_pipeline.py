@@ -1,6 +1,5 @@
 """Tests for the task pipelines (summarization, conversation, few-shot)."""
 
-import numpy as np
 import pytest
 
 from repro.core.registry import make_policy

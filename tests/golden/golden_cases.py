@@ -67,7 +67,9 @@ def _policy_for(case: dict):
         return H2OPolicy(CachePolicyConfig(kv_fraction=0.5, recent_ratio=0.5))
     if name == "keyformer":
         return KeyformerPolicy(
-            KeyformerConfig(kv_fraction=0.5, positional_mode=case.get("positional_mode", "original"))
+            KeyformerConfig(
+                kv_fraction=0.5, positional_mode=case.get("positional_mode", "original")
+            )
         )
     raise KeyError(f"unknown golden policy {name!r}")
 

@@ -5,7 +5,6 @@ the same code path as the paper's evaluation: prompt processing with a cache
 policy, token generation with per-step eviction, and ROUGE scoring.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.registry import POLICIES, make_policy

@@ -1,0 +1,175 @@
+"""Unit tests for the batched slab KV cache (`repro.kvcache.batch`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kvcache.batch import BatchedLayerKVCache
+from repro.kvcache.cache import LayerKVCache
+
+HEADS, D_HEAD = 4, 8
+
+
+def _prompt(rng, t):
+    keys = rng.normal(size=(1, HEADS, t, D_HEAD))
+    values = rng.normal(size=(1, HEADS, t, D_HEAD))
+    positions = np.broadcast_to(np.arange(t), (1, HEADS, t))
+    return keys, values, positions
+
+
+def _row_matches_reference(batched: BatchedLayerKVCache, row: int, ref: LayerKVCache):
+    start = int(batched.starts[row])
+    stop = start + int(batched.lengths[row])
+    assert int(batched.lengths[row]) == ref.length
+    np.testing.assert_array_equal(batched._k[row, :, start:stop], ref.keys[0])
+    np.testing.assert_array_equal(batched._v[row, :, start:stop], ref.values[0])
+    np.testing.assert_array_equal(batched._pos[row, :, start:stop], ref.positions[0])
+
+
+class TestBatchedLayerKVCache:
+    def test_join_append_matches_single_sequence_cache(self):
+        rng = np.random.default_rng(0)
+        batched = BatchedLayerKVCache(max_batch=3, n_heads=HEADS, d_head=D_HEAD)
+        refs = []
+        for row, t in enumerate((6, 4, 9)):
+            keys, values, positions = _prompt(rng, t)
+            batched.ensure_capacity(t + 4)
+            batched.join_row(row, keys, values, positions)
+            refs.append(LayerKVCache.from_prompt(keys, values))
+        for step in range(3):
+            k = rng.normal(size=(3, HEADS, D_HEAD))
+            v = rng.normal(size=(3, HEADS, D_HEAD))
+            positions = np.asarray([6 + step, 4 + step, 9 + step])
+            batched.append_rows(3, k, v, positions)
+            for row, ref in enumerate(refs):
+                ref.append(k[row : row + 1], v[row : row + 1], int(positions[row]))
+        for row, ref in enumerate(refs):
+            _row_matches_reference(batched, row, ref)
+
+    def test_suffix_gather_is_pointer_bump(self):
+        rng = np.random.default_rng(1)
+        batched = BatchedLayerKVCache(max_batch=1, n_heads=HEADS, d_head=D_HEAD)
+        keys, values, positions = _prompt(rng, 10)
+        batched.join_row(0, keys, values, positions)
+        ref = LayerKVCache.from_prompt(keys, values)
+        suffix = np.broadcast_to(np.arange(3, 10), (1, HEADS, 7))
+        evicted = batched.gather_row(0, suffix)
+        ref.gather(suffix)
+        assert evicted == 3
+        assert int(batched.starts[0]) == 3  # pointer bump, no compaction
+        _row_matches_reference(batched, 0, ref)
+
+    def test_scattered_gather_matches_reference(self):
+        rng = np.random.default_rng(2)
+        batched = BatchedLayerKVCache(max_batch=1, n_heads=HEADS, d_head=D_HEAD)
+        keys, values, positions = _prompt(rng, 12)
+        batched.join_row(0, keys, values, positions)
+        ref = LayerKVCache.from_prompt(keys, values)
+        selection = np.sort(
+            np.stack([rng.choice(12, size=6, replace=False) for _ in range(HEADS)])[
+                None
+            ],
+            axis=-1,
+        )
+        batched.gather_row(0, selection)
+        ref.gather(selection)
+        _row_matches_reference(batched, 0, ref)
+
+    def test_gather_after_suffix_shift_uses_relative_indices(self):
+        rng = np.random.default_rng(3)
+        batched = BatchedLayerKVCache(max_batch=1, n_heads=HEADS, d_head=D_HEAD)
+        keys, values, positions = _prompt(rng, 10)
+        batched.join_row(0, keys, values, positions)
+        ref = LayerKVCache.from_prompt(keys, values)
+        suffix = np.broadcast_to(np.arange(2, 10), (1, HEADS, 8))
+        batched.gather_row(0, suffix)
+        ref.gather(suffix)
+        scattered = np.sort(
+            np.stack([rng.choice(8, size=4, replace=False) for _ in range(HEADS)])[
+                None
+            ],
+            axis=-1,
+        )
+        batched.gather_row(0, scattered)
+        ref.gather(scattered)
+        _row_matches_reference(batched, 0, ref)
+
+    def test_gather_rejects_out_of_range(self):
+        rng = np.random.default_rng(4)
+        batched = BatchedLayerKVCache(max_batch=1, n_heads=HEADS, d_head=D_HEAD)
+        keys, values, positions = _prompt(rng, 5)
+        batched.join_row(0, keys, values, positions)
+        with pytest.raises(IndexError):
+            batched.gather_row(0, np.full((1, HEADS, 2), 7))
+
+    def test_free_row_moves_last_row(self):
+        rng = np.random.default_rng(5)
+        batched = BatchedLayerKVCache(max_batch=3, n_heads=HEADS, d_head=D_HEAD)
+        refs = []
+        for row, t in enumerate((5, 7, 6)):
+            keys, values, positions = _prompt(rng, t)
+            batched.join_row(row, keys, values, positions)
+            refs.append(LayerKVCache.from_prompt(keys, values))
+        batched.free_row(0, 2)  # retire row 0; row 2 moves into it
+        _row_matches_reference(batched, 0, refs[2])
+        _row_matches_reference(batched, 1, refs[1])
+        assert int(batched.lengths[2]) == 0
+
+    def test_padded_views_realign_divergent_starts(self):
+        rng = np.random.default_rng(6)
+        batched = BatchedLayerKVCache(max_batch=2, n_heads=HEADS, d_head=D_HEAD)
+        contents = []
+        for row in range(2):
+            keys, values, positions = _prompt(rng, 8)
+            batched.join_row(row, keys, values, positions)
+            contents.append((keys, values))
+        # Row 0 suffix-evicts (start moves); row 1 stays put → divergence.
+        batched.gather_row(0, np.broadcast_to(np.arange(3, 8), (1, HEADS, 5)))
+        assert int(batched.starts[0]) != int(batched.starts[1])
+        keys_view, values_view, pos_view, max_len = batched.padded_views(2)
+        assert max_len == 8
+        assert int(batched.starts[0]) == int(batched.starts[1])
+        np.testing.assert_array_equal(keys_view[0, :, :5], contents[0][0][0, :, 3:])
+        np.testing.assert_array_equal(keys_view[1], contents[1][0][0])
+        np.testing.assert_array_equal(pos_view[1, 0], np.arange(8))
+
+    def test_rotated_slab_matches_single_sequence_rotation(self):
+        rng = np.random.default_rng(7)
+        rope_dims = D_HEAD
+        batched = BatchedLayerKVCache(
+            max_batch=2, n_heads=HEADS, d_head=D_HEAD, rope_dims=rope_dims
+        )
+        refs = []
+        for row, t in enumerate((6, 4)):
+            keys, values, positions = _prompt(rng, t)
+            batched.join_row(row, keys, values, positions)
+            refs.append(
+                LayerKVCache.from_prompt(keys, values, rope_dims=rope_dims)
+            )
+        k = rng.normal(size=(2, HEADS, D_HEAD))
+        batched.append_rows(2, k, k.copy(), np.asarray([6, 4]))
+        for row, ref in enumerate(refs):
+            ref.append(k[row : row + 1], k[row : row + 1].copy(), (6, 4)[row])
+        _, _, _, max_len = batched.padded_views(2)
+        rotated = batched.rotated_padded(2, max_len)
+        for row, ref in enumerate(refs):
+            length = int(batched.lengths[row])
+            np.testing.assert_array_equal(
+                rotated[row, :, :length], ref.rotated_keys()[0]
+            )
+
+    def test_capacity_grows_preserving_contents(self):
+        rng = np.random.default_rng(8)
+        batched = BatchedLayerKVCache(
+            max_batch=1, n_heads=HEADS, d_head=D_HEAD, capacity=16
+        )
+        keys, values, positions = _prompt(rng, 10)
+        batched.join_row(0, keys, values, positions)
+        ref = LayerKVCache.from_prompt(keys, values)
+        for step in range(20):  # forces at least one grow
+            k = rng.normal(size=(1, HEADS, D_HEAD))
+            batched.append_rows(1, k, k.copy(), np.asarray([10 + step]))
+            ref.append(k[0:1], k[0:1].copy(), 10 + step)
+        assert batched.capacity >= 30
+        _row_matches_reference(batched, 0, ref)

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.models.attention import MultiHeadAttention
-from repro.models.config import ModelConfig
 from tests.conftest import tiny_config
 
 

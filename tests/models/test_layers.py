@@ -27,7 +27,9 @@ class TestLinear:
         layer(x)
         dx = layer.backward(upstream)
         np.testing.assert_allclose(
-            layer.grads["W"], finite_difference_gradient(loss_wrt_w, layer.params["W"].copy()), atol=1e-6
+            layer.grads["W"],
+            finite_difference_gradient(loss_wrt_w, layer.params["W"].copy()),
+            atol=1e-6,
         )
         np.testing.assert_allclose(layer.grads["b"], upstream.sum(axis=0), atol=1e-12)
         np.testing.assert_allclose(dx, upstream @ layer.params["W"].T, atol=1e-12)

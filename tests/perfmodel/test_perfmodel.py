@@ -1,6 +1,5 @@
 """Tests for the analytical A100 performance model."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -94,7 +93,9 @@ class TestLatencyModel:
 
     def test_keyformer_speedup_exceeds_h2o_at_iso_accuracy(self):
         model = LatencyModel(MPT_7B)
-        keyformer = model.speedup_vs_full(2048, 2048, 0.5, 1, 4, AttentionPolicyOverhead.keyformer())
+        keyformer = model.speedup_vs_full(
+            2048, 2048, 0.5, 1, 4, AttentionPolicyOverhead.keyformer()
+        )
         h2o = model.speedup_vs_full(2048, 2048, 0.9, 1, 4, AttentionPolicyOverhead.h2o())
         assert keyformer > h2o > 1.0
 

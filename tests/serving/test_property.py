@@ -1,0 +1,84 @@
+"""Property test: arrival order and engine capacity never change any output.
+
+Because batched execution is bit-exact per sequence, the scheduler can only
+affect *when* a request runs — never *what* it generates.  Hypothesis drives
+random submission orders and random engine budgets; every request must
+reproduce its dedicated single-request output exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CachePolicyConfig
+from repro.core.policies import H2OPolicy
+from repro.generation.generator import Generator
+from repro.generation.sampler import GreedySampler
+from repro.models.config import GenerationConfig, ModelConfig
+from repro.models.transformer import DecoderLM
+from repro.serving.engine import BatchedGenerator
+
+VOCAB = 96
+PROMPT_LENGTHS = (37, 18, 29, 24)
+MAX_NEW_TOKENS = 10
+
+_MODEL = DecoderLM(
+    ModelConfig(
+        vocab_size=VOCAB,
+        d_model=32,
+        n_layers=2,
+        n_heads=4,
+        d_ff=64,
+        max_seq_len=256,
+        positional="rope",
+    ),
+    seed=0,
+)
+_PROMPTS = [
+    np.random.default_rng(13).integers(0, VOCAB, size=n).astype(np.int64)
+    for n in PROMPT_LENGTHS
+]
+_CONFIG = GenerationConfig(max_new_tokens=MAX_NEW_TOKENS)
+
+
+def _policy_factory():
+    return H2OPolicy(CachePolicyConfig(kv_fraction=0.5, recent_ratio=0.5))
+
+
+#: Dedicated single-request reference outputs, computed once.
+_EXPECTED = [
+    Generator(_MODEL, _policy_factory()).generate(
+        prompt, _CONFIG, sampler=GreedySampler()
+    )
+    for prompt in _PROMPTS
+]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    order=st.permutations(list(range(len(_PROMPTS)))),
+    max_batch_size=st.integers(min_value=1, max_value=4),
+    token_budget_slack=st.integers(min_value=0, max_value=60),
+)
+def test_arrival_order_never_changes_outputs(order, max_batch_size, token_budget_slack):
+    max_request_tokens = max(len(p) for p in _PROMPTS) + MAX_NEW_TOKENS
+    generator = BatchedGenerator(
+        _MODEL,
+        policy_factory=_policy_factory,
+        max_batch_size=max_batch_size,
+        max_total_tokens=max_request_tokens + token_budget_slack,
+    )
+    results = generator.generate_batch(
+        [_PROMPTS[i] for i in order], _CONFIG, sampler=GreedySampler()
+    )
+    for position, request_index in enumerate(order):
+        expected = _EXPECTED[request_index]
+        got = results[position]
+        assert got.sequences[0] == expected.sequences[0]
+        assert got.log_probs[0] == expected.log_probs[0]
+        assert got.n_steps == expected.n_steps
+        assert (
+            got.cache_stats.lengths_per_step == expected.cache_stats.lengths_per_step
+        )

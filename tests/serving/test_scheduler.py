@@ -1,0 +1,208 @@
+"""Scheduler and engine-lifecycle tests: admission, joining, retirement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policies import FullAttentionPolicy, WindowAttentionPolicy
+from repro.core.config import CachePolicyConfig
+from repro.generation.generator import Generator
+from repro.generation.sampler import GreedySampler
+from repro.models.config import GenerationConfig, ModelConfig
+from repro.models.transformer import DecoderLM
+from repro.serving.engine import BatchedGenerator, ContinuousBatchingEngine
+from repro.serving.request import FinishReason, Request, RequestState, RequestStatus
+from repro.serving.scheduler import FCFSScheduler
+
+VOCAB = 96
+
+
+def make_model(**overrides) -> DecoderLM:
+    config = dict(
+        vocab_size=VOCAB,
+        d_model=32,
+        n_layers=2,
+        n_heads=4,
+        d_ff=64,
+        max_seq_len=256,
+        positional="rope",
+    )
+    config.update(overrides)
+    return DecoderLM(ModelConfig(**config), seed=0)
+
+
+def make_state(request_id: int, prompt_len: int, max_new: int = 8) -> RequestState:
+    prompt = np.zeros((1, prompt_len), dtype=np.int64)
+    request = Request(
+        request_id=request_id, prompt_ids=prompt, max_new_tokens=max_new
+    )
+    return RequestState(request=request, sampler=GreedySampler(), policy=FullAttentionPolicy())
+
+
+class TestFCFSScheduler:
+    def test_admits_in_submission_order_up_to_batch_size(self):
+        scheduler = FCFSScheduler(max_batch_size=2)
+        states = [make_state(i, prompt_len=10) for i in range(4)]
+        for state in states:
+            scheduler.submit(state)
+        admitted = scheduler.admit(n_running=0, tokens_in_flight=0)
+        assert [s.request_id for s in admitted] == [0, 1]
+        admitted = scheduler.admit(n_running=1, tokens_in_flight=18)
+        assert [s.request_id for s in admitted] == [2]
+        assert len(scheduler) == 1
+
+    def test_token_budget_blocks_admission(self):
+        scheduler = FCFSScheduler(max_batch_size=8, max_total_tokens=50)
+        scheduler.submit(make_state(0, prompt_len=20, max_new=10))  # 30 tokens
+        scheduler.submit(make_state(1, prompt_len=20, max_new=10))  # 30 tokens
+        admitted = scheduler.admit(n_running=0, tokens_in_flight=0)
+        assert [s.request_id for s in admitted] == [0]
+        # Budget frees up once the first request retires.
+        admitted = scheduler.admit(n_running=0, tokens_in_flight=0)
+        assert [s.request_id for s in admitted] == [1]
+
+    def test_head_of_line_blocking_is_strict_fcfs(self):
+        scheduler = FCFSScheduler(max_batch_size=8, max_total_tokens=50)
+        scheduler.submit(make_state(0, prompt_len=40, max_new=9))  # 49 tokens
+        scheduler.submit(make_state(1, prompt_len=4, max_new=4))  # 8 tokens, fits
+        admitted = scheduler.admit(n_running=1, tokens_in_flight=10)
+        # The small request must NOT jump the blocked head of the queue.
+        assert admitted == []
+
+    def test_submit_rejects_request_that_can_never_fit(self):
+        scheduler = FCFSScheduler(max_batch_size=2, max_total_tokens=16)
+        with pytest.raises(ValueError, match="max_total_tokens"):
+            scheduler.submit(make_state(0, prompt_len=20, max_new=10))
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            FCFSScheduler(max_batch_size=0)
+        with pytest.raises(ValueError):
+            FCFSScheduler(max_batch_size=1, max_total_tokens=0)
+
+
+class TestEngineLifecycle:
+    def _prompts(self, lengths=(48, 31, 40, 23)):
+        rng = np.random.default_rng(7)
+        return [rng.integers(0, VOCAB, size=n).astype(np.int64) for n in lengths]
+
+    def test_joining_mid_stream_preserves_outputs(self):
+        """With max_batch_size=2, requests 3 and 4 join as earlier ones retire
+        — outputs must equal dedicated single-request runs regardless."""
+        model = make_model()
+        prompts = self._prompts()
+        # Mixed decoding budgets force staggered retirement and joining.
+        configs = [
+            GenerationConfig(max_new_tokens=n) for n in (6, 14, 10, 8)
+        ]
+        sequential = [
+            Generator(model, FullAttentionPolicy()).generate(
+                p, c, sampler=GreedySampler()
+            )
+            for p, c in zip(prompts, configs)
+        ]
+        batched = BatchedGenerator(
+            model, policy_factory=FullAttentionPolicy, max_batch_size=2
+        ).generate_batch(prompts, configs, sampler=GreedySampler())
+        for seq, bat in zip(sequential, batched):
+            assert bat.sequences[0] == seq.sequences[0]
+            assert bat.log_probs[0] == seq.log_probs[0]
+            assert bat.n_steps == seq.n_steps
+
+    def test_retire_on_max_tokens(self):
+        model = make_model()
+        engine = ContinuousBatchingEngine(
+            model, policy_factory=FullAttentionPolicy, max_batch_size=4
+        )
+        state = engine.submit(self._prompts()[0], GenerationConfig(max_new_tokens=5))
+        assert state.status is RequestStatus.QUEUED
+        finished = engine.run()
+        assert finished == [state]
+        assert state.status is RequestStatus.FINISHED
+        assert state.finish_reason is FinishReason.LENGTH
+        assert len(state.tokens) == 5
+        assert state.n_steps == 4  # max_new_tokens - 1 decode steps
+
+    def test_retire_on_eos(self):
+        model = make_model()
+        prompt = self._prompts()[0]
+        reference = Generator(model, FullAttentionPolicy()).generate(
+            prompt, GenerationConfig(max_new_tokens=12), sampler=GreedySampler()
+        )
+        eos = reference.sequences[0][4]  # token generated at step 4
+        config = GenerationConfig(max_new_tokens=12, eos_token_id=eos)
+        sequential = Generator(model, FullAttentionPolicy()).generate(
+            prompt, config, sampler=GreedySampler()
+        )
+        engine = ContinuousBatchingEngine(
+            model, policy_factory=FullAttentionPolicy, max_batch_size=4
+        )
+        state = engine.submit(prompt, config, sampler=GreedySampler())
+        engine.run()
+        assert state.finish_reason is FinishReason.EOS
+        assert state.tokens == sequential.sequences[0]
+        assert state.tokens[-1] == eos
+        assert state.n_steps == sequential.n_steps
+
+    def test_eos_and_length_retire_independently_in_one_batch(self):
+        model = make_model()
+        prompts = self._prompts()
+        reference = Generator(model, FullAttentionPolicy()).generate(
+            prompts[0], GenerationConfig(max_new_tokens=12), sampler=GreedySampler()
+        )
+        eos = reference.sequences[0][3]
+        config = GenerationConfig(max_new_tokens=12, eos_token_id=eos)
+        engine = ContinuousBatchingEngine(
+            model, policy_factory=FullAttentionPolicy, max_batch_size=4
+        )
+        states = [engine.submit(p, config, sampler=GreedySampler()) for p in prompts]
+        engine.run()
+        sequential = [
+            Generator(model, FullAttentionPolicy()).generate(
+                p, config, sampler=GreedySampler()
+            )
+            for p in prompts
+        ]
+        for state, seq in zip(states, sequential):
+            assert state.tokens == seq.sequences[0]
+        assert states[0].finish_reason is FinishReason.EOS
+
+    def test_result_requires_finish(self):
+        state = make_state(0, prompt_len=4)
+        with pytest.raises(RuntimeError, match="has not finished"):
+            state.result()
+
+    def test_mixed_positional_modes_rejected(self):
+        model = make_model()
+        engine = ContinuousBatchingEngine(
+            model,
+            policy_factory=lambda: WindowAttentionPolicy(
+                CachePolicyConfig(kv_fraction=0.5)
+            ),
+            max_batch_size=4,
+        )
+        engine.submit(self._prompts()[0], GenerationConfig(max_new_tokens=4))
+        engine.submit(
+            self._prompts()[1],
+            GenerationConfig(max_new_tokens=4),
+            policy=WindowAttentionPolicy(
+                CachePolicyConfig(kv_fraction=0.5, positional_mode="new")
+            ),
+        )
+        with pytest.raises(ValueError, match="positional mode"):
+            engine.run()
+
+    def test_engine_queue_and_running_counters(self):
+        model = make_model()
+        engine = ContinuousBatchingEngine(
+            model, policy_factory=FullAttentionPolicy, max_batch_size=1
+        )
+        for prompt in self._prompts((16, 12)):
+            engine.submit(prompt, GenerationConfig(max_new_tokens=3))
+        assert engine.n_queued == 2 and engine.n_running == 0
+        engine.step()
+        assert engine.n_running == 1 and engine.n_queued == 1
+        engine.run()
+        assert engine.n_running == 0 and engine.n_queued == 0
+        assert not engine.has_work

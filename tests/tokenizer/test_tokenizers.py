@@ -1,6 +1,5 @@
 """Tests for vocabulary, word-level tokenizer and BPE tokenizer."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -35,7 +34,13 @@ class TestVocabulary:
 
     def test_decode_skips_specials(self):
         vocab = Vocabulary(["a", "b"])
-        ids = [vocab.bos_id, vocab.token_to_id("a"), vocab.sep_id, vocab.token_to_id("b"), vocab.eos_id]
+        ids = [
+            vocab.bos_id,
+            vocab.token_to_id("a"),
+            vocab.sep_id,
+            vocab.token_to_id("b"),
+            vocab.eos_id,
+        ]
         assert vocab.decode_ids(ids) == ["a", "b"]
         assert len(vocab.decode_ids(ids, skip_special=False)) == 5
 
