@@ -9,10 +9,16 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # CI jobs on one runner never clobber each other's reports.
 BENCH_SMOKE_OUT ?= BENCH_smoke.json
 
-.PHONY: test bench bench-smoke bench-gate lint serve-demo check
+.PHONY: test test-cov bench bench-smoke bench-gate lint serve-demo check
 
 test:
 	$(PYTHON) -m pytest -x -q tests
+
+# Tier-1 tests with a coverage floor on the KV-cache subsystem (the paged
+# store is the engine's correctness-critical core).  Needs pytest-cov; CI
+# runs this, `make test` stays dependency-light for local loops.
+test-cov:
+	$(PYTHON) -m pytest -x -q tests --cov=repro.kvcache --cov-report=term-missing --cov-fail-under=85
 
 bench:
 	$(PYTHON) benchmarks/run_bench.py

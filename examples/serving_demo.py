@@ -1,10 +1,14 @@
-"""Serving demo: continuous batching over the slab KV-cache.
+"""Serving demo: continuous batching over the paged KV-cache store.
 
-Submits a stream of mixed-length requests to the continuous-batching engine
-with a deliberately small batch budget, so requests queue, join mid-stream as
-others retire, and decode together — then verifies every output is
-bit-identical to a dedicated single-request run and reports the aggregate
-throughput of both execution modes.
+Submits a stream of mixed-length requests — half of them sharing a long
+common prompt prefix — to the continuous-batching engine with a deliberately
+small batch budget, so requests queue, join mid-stream as others retire, and
+decode together.  The paged store maps the shared prefix's pages instead of
+recomputing them (watch the ``shared`` page count and the prefill savings),
+and per-step pool utilization shows pages flowing between sequences, the
+prefix registry and the free list.  Finally every output is verified
+bit-identical to a dedicated single-request run and the aggregate throughput
+of both execution modes is reported.
 
 Run with:
     python examples/serving_demo.py          # or: make serve-demo
@@ -27,11 +31,24 @@ from repro.serving.engine import ContinuousBatchingEngine
 VOCAB = 256
 KV_BUDGET = 96
 MAX_NEW_TOKENS = 48
+SHARED_PREFIX_LEN = 192
 PROMPT_LENGTHS = (320, 256, 288, 272, 304, 264)
 
 
 def policy_factory() -> WindowAttentionPolicy:
     return WindowAttentionPolicy(CachePolicyConfig(kv_budget=KV_BUDGET))
+
+
+def build_prompts() -> list[np.ndarray]:
+    """Mixed-length prompts; every odd request shares one long prefix."""
+    shared = np.random.default_rng(99).integers(0, VOCAB, size=SHARED_PREFIX_LEN)
+    prompts = []
+    for i, n in enumerate(PROMPT_LENGTHS):
+        body = np.random.default_rng(i).integers(0, VOCAB, size=n).astype(np.int64)
+        if i % 2 == 1:
+            body[:SHARED_PREFIX_LEN] = shared
+        prompts.append(body)
+    return prompts
 
 
 def main() -> None:
@@ -47,19 +64,17 @@ def main() -> None:
         ),
         seed=0,
     )
-    prompts = [
-        np.random.default_rng(i).integers(0, VOCAB, size=n).astype(np.int64)
-        for i, n in enumerate(PROMPT_LENGTHS)
-    ]
+    prompts = build_prompts()
     config = GenerationConfig(max_new_tokens=MAX_NEW_TOKENS)
 
     print(f"Submitting {len(prompts)} requests (prompts {min(PROMPT_LENGTHS)}-"
-          f"{max(PROMPT_LENGTHS)} tokens, {MAX_NEW_TOKENS} new tokens each)")
+          f"{max(PROMPT_LENGTHS)} tokens, {MAX_NEW_TOKENS} new tokens each; "
+          f"requests 1/3/5 share a {SHARED_PREFIX_LEN}-token prefix)")
     engine = ContinuousBatchingEngine(
         model,
         policy_factory=policy_factory,
         max_batch_size=3,  # smaller than the request count: forces queueing
-        max_total_tokens=2048,
+        max_pool_tokens=4096,  # fixed paged pool: memory-aware admission
     )
     states = [engine.submit(p, config, sampler=GreedySampler()) for p in prompts]
 
@@ -69,14 +84,25 @@ def main() -> None:
         engine.step()
         steps += 1
         if steps % 16 == 0:
+            pool = engine.pool_usage()
             print(
                 f"  step {steps:3d}: running={engine.n_running} "
-                f"queued={engine.n_queued}"
+                f"queued={engine.n_queued} | pool: "
+                f"{pool['pages_used']}/{pool['pages_total']} pages used, "
+                f"{pool['pages_free']} free, {pool['pages_shared']} shared, "
+                f"{pool['registry_chunks']} registry chunks"
             )
     batched_s = time.perf_counter() - start
     total_tokens = sum(len(state.tokens) for state in states)
     print(f"Engine finished in {steps} steps / {batched_s:.2f}s "
           f"({total_tokens / batched_s:.0f} tok/s aggregate, incl. prefill)")
+    print(f"Prefix sharing: computed {engine.prefill_computed_tokens} of "
+          f"{engine.prefill_prompt_tokens} prompt tokens "
+          f"({engine.prefill_savings:.2f}x prefill savings); "
+          f"{engine.n_preemptions} preemptions")
+    pool = engine.pool_usage()
+    print(f"Final pool state: {pool['pages_used']}/{pool['pages_total']} pages "
+          f"used ({pool['registry_chunks']} prefix chunks retained for reuse)")
 
     print("\nPer-request results:")
     for state in states:

@@ -27,6 +27,9 @@ class KeyformerPolicy(EvictionPolicy):
     """Mixed recent-window + key-token eviction driven by a Gumbel-softmax score."""
 
     name = "keyformer"
+    #: The Gumbel score accumulator is seeded from the prompt attention
+    #: logits, so prefix sharing cannot skip the prompt forward pass.
+    needs_prompt_attention = True
 
     def __init__(self, config: KeyformerConfig | None = None):
         config = config or KeyformerConfig()

@@ -111,6 +111,12 @@ class EvictionPolicy(ABC):
     #: When true the manager applies one selection (computed at the last
     #: layer's observation) to every layer — used by shared score functions.
     shared_selection = False
+    #: When true ``initial_selection`` consumes the *values* of the prompt
+    #: attention maps (score-based policies seed accumulators from them), so
+    #: the serving engine must run a full prompt forward and cannot reuse a
+    #: cached prefix for this request.  Shape-only policies (full, window,
+    #: sinks, dilated, random) leave this False and remain prefix-shareable.
+    needs_prompt_attention = False
 
     def __init__(self, config: CachePolicyConfig | None = None):
         self.config = config or CachePolicyConfig()
@@ -277,6 +283,8 @@ class DilatedWindowPolicy(EvictionPolicy):
 
 class _ScoreBasedPolicy(EvictionPolicy):
     """Shared logic for policies that rank tokens by an accumulated score."""
+
+    needs_prompt_attention = True
 
     def __init__(self, config: CachePolicyConfig | None = None, damping: float = 1.0):
         super().__init__(config)

@@ -1,8 +1,23 @@
-"""KV-cache data structures and the cache managers that apply eviction policies."""
+"""KV-cache data structures and the cache managers that apply eviction policies.
+
+Storage is paged: both the solo cache (:class:`LayerKVCache`) and the serving
+batch cache (:class:`BatchedLayerKVCache`) are thin views over per-layer
+:class:`BlockPool` page pools with ref-counted, copy-on-write pages — see
+:mod:`repro.kvcache.paged`.
+"""
 
 from repro.kvcache.batch import BatchedCacheManager, BatchedLayerKVCache, BatchedLayerView
 from repro.kvcache.cache import LayerKVCache
 from repro.kvcache.manager import CacheManager, LayerCacheView
+from repro.kvcache.paged import (
+    DEFAULT_PAGE_SIZE,
+    BlockPool,
+    PagedKVStore,
+    PageTable,
+    PoolExhausted,
+    PrefixMatch,
+    PrefixRegistry,
+)
 from repro.kvcache.stats import CacheStats
 
 __all__ = [
@@ -13,4 +28,11 @@ __all__ = [
     "BatchedLayerKVCache",
     "BatchedCacheManager",
     "BatchedLayerView",
+    "BlockPool",
+    "PageTable",
+    "PagedKVStore",
+    "PoolExhausted",
+    "PrefixMatch",
+    "PrefixRegistry",
+    "DEFAULT_PAGE_SIZE",
 ]

@@ -1,26 +1,29 @@
-"""Batched per-sequence slab KV storage for the continuous-batching engine.
+"""Batched per-sequence KV storage for the continuous-batching engine.
 
-The serving engine keeps many in-flight sequences resident at once.  Storing
-each sequence in its own :class:`~repro.kvcache.cache.LayerKVCache` would
-force the batched attention step to re-stack (copy) every cache into one
-contiguous tensor per decoding step, which is exactly the O(L) per-step cost
-the slab layout was built to avoid.  Instead, :class:`BatchedLayerKVCache`
-owns **one** slab of shape ``(max_batch, heads, capacity, d_head)`` in which
-every row is an independent sequence with its own live length:
+The serving engine keeps many in-flight sequences resident at once.  Each
+sequence row is a :class:`~repro.kvcache.paged.PageTable` into the same
+per-layer :class:`~repro.kvcache.paged.BlockPool` the solo cache uses — the
+batched cache adds no storage logic of its own, it only drives the pool's
+single implementation of append/extend/gather for a set of rows:
 
-* ``append_rows`` writes one new token per active sequence at that
-  sequence's own cursor (a ragged, per-row in-place write);
-* ``gather_row`` compacts a single sequence's prefix when its eviction
-  policy drops tokens — other rows are untouched;
-* ``join_row`` / ``free_row`` implement a *persistent batch*: active
-  sequences always occupy rows ``0..n_active-1``, so the attention step can
-  take a zero-copy padded view ``slab[:R, :, :Lmax]`` of the whole batch.
+* ``append_rows`` resolves one page slot per active sequence and writes all
+  rows with one vectorized scatter per slab;
+* ``gather_row`` compacts a single sequence when its eviction policy drops
+  tokens (the pool keeps the suffix-eviction O(1) fast path that makes
+  sliding-window serving cheap);
+* ``join_row`` / ``join_row_shared`` / ``free_row`` manage the persistent
+  batch: a retiring row's pages go straight back to the pool (an O(1)
+  refcount drop — no slab copy, unlike the historical dense-slab design),
+  and a joining row may *map* already-resident pages for a shared prompt
+  prefix instead of storing a duplicate.
 
-Bit-exactness contract: every value stored here is produced by the same
-per-token elementwise operations as the single-sequence cache (RoPE rotation
-is per-element in the token axis), so the padded view's row ``b`` restricted
-to ``lengths[b]`` entries is bit-identical to the slab of a sequence decoded
-alone.  :class:`BatchedCacheManager` mirrors
+The attention step consumes padded ``(rows, heads, max_len, d)`` tensors
+assembled by a page-gather per row (zero-copy when a lone row sits on
+physically contiguous pages).  Bit-exactness contract: every stored value is
+produced by the same per-token elementwise operations as the single-sequence
+cache, so row ``b`` of the padded view restricted to ``lengths[b]`` entries
+is bit-identical to the cache of a sequence decoded alone.
+:class:`BatchedCacheManager` mirrors
 :class:`~repro.kvcache.manager.CacheManager` — per-layer caches, positional
 modes, eviction bookkeeping — but drives one policy *instance per sequence*
 so that policy state (score accumulators, noise RNGs) evolves exactly as it
@@ -32,6 +35,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.policies import EvictionPolicy
+from repro.kvcache.paged import (
+    DEFAULT_PAGE_SIZE,
+    BlockPool,
+    PagedKVStore,
+    PageTable,
+    PrefixMatch,
+    PrefixRegistry,
+    pages_needed,
+)
 from repro.kvcache.stats import CacheStats
 from repro.models.positional import RopeTable, get_rope_table
 
@@ -46,19 +58,21 @@ class BatchedLayerKVCache:
     Parameters
     ----------
     max_batch:
-        Number of sequence rows the slab holds.
+        Number of sequence rows.
     n_heads, d_head:
         Attention geometry (shared by all sequences).
     capacity:
-        Initial number of token slots per row; grows geometrically on demand.
+        Initial token slots to size a private pool for (ignored when ``pool``
+        is passed); the pool grows geometrically on demand when growable.
     dtype:
         Storage dtype of keys/values.
     rope_dims:
-        When positive, maintain a rotated-key slab alongside the raw keys.
-        Unlike the lazy single-sequence cache, rotation here is *eager*:
-        tokens are rotated at join/append time (rotation is elementwise per
-        token, so eager and lazy rotation are bit-identical) which keeps every
-        row fully rotated and compaction-safe at all times.
+        When positive, the pool maintains a rotated-key slab alongside the
+        raw keys (rotation is eager and elementwise, hence bit-identical to
+        the lazy rotation of the historical solo cache).
+    pool:
+        Optional shared :class:`BlockPool` (the batched manager passes one
+        per layer, owned by its :class:`PagedKVStore`).
     """
 
     def __init__(
@@ -70,73 +84,61 @@ class BatchedLayerKVCache:
         dtype: np.dtype | str = np.float64,
         rope_dims: int = 0,
         rope_table: RopeTable | None = None,
+        pool: BlockPool | None = None,
+        page_size: int | None = None,
     ):
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
-        self.dtype = np.dtype(dtype)
-        self.rope_dims = int(rope_dims)
-        self._rope_table = rope_table
-        if self.rope_dims > 0 and rope_table is None:
-            self._rope_table = get_rope_table(self.rope_dims)
-        cap = max(int(capacity), _MIN_CAPACITY)
-        # np.zeros (not empty): padded slots of the position slab must hold
-        # benign values because ALiBi bias and RoPE table sizing read the
-        # padded view before masking.
-        self._k = np.zeros((max_batch, n_heads, cap, d_head), dtype=self.dtype)
-        self._v = np.zeros((max_batch, n_heads, cap, d_head), dtype=self.dtype)
-        self._pos = np.zeros((max_batch, n_heads, cap), dtype=np.int64)
-        self._k_rot = (
-            np.zeros((max_batch, n_heads, cap, d_head), dtype=self.dtype)
-            if self.rope_dims > 0
-            else None
-        )
-        #: Live token count of every row (rows beyond the active batch are 0).
-        self.lengths = np.zeros(max_batch, dtype=np.int64)
-        #: First live slot of every row.  Suffix evictions (sliding-window
-        #: policies dropping the oldest tokens) advance the start instead of
-        #: compacting the slab — an O(1) pointer bump replacing an O(L·H·d)
-        #: copy on the per-step hot path.  Rows are lazily realigned to a
-        #: common start when the padded batch view needs it.
-        self.starts = np.zeros(max_batch, dtype=np.int64)
+        if pool is None:
+            ps = page_size or DEFAULT_PAGE_SIZE
+            pool = BlockPool(
+                n_heads,
+                d_head,
+                page_size=ps,
+                n_pages=max_batch * max(pages_needed(capacity, ps), 1) + 1,
+                dtype=dtype,
+                rope_dims=rope_dims,
+                rope_table=rope_table,
+                growable=True,
+            )
+        self.pool = pool
+        self.dtype = pool.dtype
+        self.rope_dims = pool.rope_dims
+        self.tables: list[PageTable] = [PageTable() for _ in range(max_batch)]
+        # Persistent padded-batch workspace (keys, values, positions), grown
+        # on demand: the per-step batch read re-fills live entries in place
+        # instead of allocating and zeroing fresh buffers every step.  Zero
+        # initialization (and only ever overwriting with stored values) keeps
+        # padding slots finite for the masked float32 path.
+        self._ws: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     @property
     def max_batch(self) -> int:
-        return self._k.shape[0]
+        return len(self.tables)
 
     @property
     def n_heads(self) -> int:
-        return self._k.shape[1]
-
-    @property
-    def capacity(self) -> int:
-        return self._k.shape[2]
+        return self.pool.n_heads
 
     @property
     def d_head(self) -> int:
-        return self._k.shape[3]
+        return self.pool.d_head
 
-    # ------------------------------------------------------------------
-    def ensure_capacity(self, needed: int) -> None:
-        """Grow every slab so each row can hold ``needed`` token slots."""
-        if needed <= self.capacity:
-            return
-        new_cap = max(needed, 2 * self.capacity)
-        used = int((self.starts + self.lengths).max())
+    @property
+    def page_size(self) -> int:
+        return self.pool.page_size
 
-        def grown(slab: np.ndarray | None, trailing: tuple[int, ...]) -> np.ndarray | None:
-            if slab is None:
-                return None
-            fresh = np.zeros(
-                (self.max_batch, self.n_heads, new_cap) + trailing, dtype=slab.dtype
-            )
-            fresh[:, :, :used] = slab[:, :, :used]
-            return fresh
+    @property
+    def capacity(self) -> int:
+        """Largest per-row allocated token span (whole pages)."""
+        ps = self.pool.page_size
+        return max((t.allocated(ps) - t.offset for t in self.tables), default=0)
 
-        self._k = grown(self._k, (self.d_head,))
-        self._v = grown(self._v, (self.d_head,))
-        self._pos = grown(self._pos, ())
-        self._k_rot = grown(self._k_rot, (self.d_head,))
+    @property
+    def lengths(self) -> np.ndarray:
+        """Live token count of every row."""
+        return np.asarray([t.length for t in self.tables], dtype=np.int64)
 
     # ------------------------------------------------------------------
     def join_row(
@@ -149,36 +151,60 @@ class BatchedLayerKVCache:
         keys = np.asarray(keys)
         if keys.ndim != 4 or keys.shape[0] != 1:
             raise ValueError(f"join_row expects (1, H, T, d) keys, got {keys.shape}")
-        t = keys.shape[2]
-        self.ensure_capacity(t)
-        self._k[row, :, :t] = keys[0]
-        self._v[row, :, :t] = np.asarray(values)[0]
-        self._pos[row, :, :t] = np.asarray(positions, dtype=np.int64)[0]
-        if self._k_rot is not None:
-            self._k_rot[row, :, :t] = self._rope_table.rotate(keys, positions)[0]
-        self.starts[row] = 0
-        self.lengths[row] = t
+        table = self.tables[row]
+        if table.pages:
+            self.pool.release_table(table)
+        self.pool.extend(
+            table,
+            keys[0],
+            np.asarray(values)[0],
+            np.asarray(positions, dtype=np.int64)[0],
+        )
+
+    def join_row_shared(
+        self,
+        row: int,
+        shared_pages: list[int],
+        shared_len: int,
+        keys: np.ndarray,
+        values: np.ndarray,
+        positions: np.ndarray,
+    ) -> None:
+        """Seed row ``row`` by *mapping* ``shared_pages`` (a page-aligned
+        resident prompt prefix of ``shared_len`` tokens) and storing only the
+        freshly computed suffix tensors ``(1, H, S, d)``.
+
+        The mapped pages are refcount-shared; the pool's copy-on-write keeps
+        them pristine if this row later evicts or appends into them.
+        """
+        if shared_len % self.pool.page_size != 0:
+            raise ValueError("shared prefix must be page-aligned")
+        if shared_len != len(shared_pages) * self.pool.page_size:
+            raise ValueError("shared_pages do not cover shared_len tokens")
+        table = self.tables[row]
+        if table.pages:
+            self.pool.release_table(table)
+        table.pages = list(shared_pages)
+        table.offset = 0
+        table.length = shared_len
+        self.pool.retain(shared_pages)
+        self.pool.extend(
+            table,
+            np.asarray(keys)[0],
+            np.asarray(values)[0],
+            np.asarray(positions, dtype=np.int64)[0],
+        )
 
     def free_row(self, row: int, last: int) -> None:
-        """Retire ``row`` by moving row ``last`` into it (persistent batch).
+        """Retire ``row``: release its pages and move row ``last`` into it.
 
-        Moving a sequence to another storage row is pure bookkeeping — the
-        stored values are copied bit-for-bit.  Stale content left in freed or
-        shrunk slots is never read: padded views are always masked (or sliced
-        to exact lengths) before use.
+        Pure page-table bookkeeping — an O(1) refcount drop plus a pointer
+        move, where the dense-slab design copied the whole moved row.
         """
+        self.pool.release_table(self.tables[row])
         if row != last:
-            start = int(self.starts[last])
-            stop = start + int(self.lengths[last])
-            self._k[row, :, start:stop] = self._k[last, :, start:stop]
-            self._v[row, :, start:stop] = self._v[last, :, start:stop]
-            self._pos[row, :, start:stop] = self._pos[last, :, start:stop]
-            if self._k_rot is not None:
-                self._k_rot[row, :, start:stop] = self._k_rot[last, :, start:stop]
-            self.starts[row] = start
-            self.lengths[row] = int(self.lengths[last])
-        self.starts[last] = 0
-        self.lengths[last] = 0
+            self.tables[row] = self.tables[last]
+            self.tables[last] = PageTable()
 
     def append_rows(
         self, n_active: int, k: np.ndarray, v: np.ndarray, positions: np.ndarray
@@ -191,154 +217,86 @@ class BatchedLayerKVCache:
         expected = (n_active, self.n_heads, self.d_head)
         if k.shape != expected:
             raise ValueError(f"append_rows expects shape {expected}, got {k.shape}")
-        cursors = self.starts[:n_active] + self.lengths[:n_active]
-        needed = int(cursors.max(initial=0)) + 1
-        if needed > self.capacity:
-            self.ensure_capacity(needed)
-        positions = np.asarray(positions, dtype=np.int64)
-        k_rot = None
-        if self._k_rot is not None:
-            # Per-row positions; elementwise, so each row is bit-identical to
-            # the single-sequence cache's rotate_uniform at that position.
-            k_rot = self._rope_table.rotate(k, positions[:, None])
-        first = int(cursors[0])
-        if n_active == 1 or bool((cursors == first).all()):
-            # Steady state: rows advance in lockstep, one slice write per slab.
-            self._k[:n_active, :, first] = k
-            self._v[:n_active, :, first] = v
-            self._pos[:n_active, :, first] = positions[:, None]
-            if k_rot is not None:
-                self._k_rot[:n_active, :, first] = k_rot
-        else:
-            for i in range(n_active):
-                cursor = int(cursors[i])
-                self._k[i, :, cursor] = k[i]
-                self._v[i, :, cursor] = v[i]
-                self._pos[i, :, cursor] = positions[i]
-                if k_rot is not None:
-                    self._k_rot[i, :, cursor] = k_rot[i]
-        self.lengths[:n_active] += 1
+        self.pool.append_rows(self.tables[:n_active], k, v, positions)
 
-    # ------------------------------------------------------------------
     def gather_row(self, row: int, indices: np.ndarray) -> int:
         """Retain only the entries of ``row`` selected by ``indices``.
 
         ``indices`` has shape ``(1, H, K)`` or ``(H, K)``, ascending per head,
         relative to the row's live region.  Returns the number of evicted
-        entries.  A *suffix* selection — every head keeping exactly the
-        newest ``K`` tokens, the steady state of sliding-window policies —
-        advances the row's start pointer instead of copying the slab.
+        entries.  Suffix selections (sliding-window steady state) are an O(1)
+        page-table bump.
         """
-        indices = np.asarray(indices, dtype=np.int64)
-        if indices.ndim == 3:
-            indices = indices[0]
-        length = int(self.lengths[row])
-        if indices.shape[0] != self.n_heads:
-            raise ValueError(
-                f"gather_row expects ({self.n_heads}, K) indices, got {indices.shape}"
-            )
-        if indices.size and (indices.min() < 0 or indices.max() >= length):
-            raise IndexError("gather_row indices out of range")
-        k = indices.shape[-1]
-        dropped = length - k
-        if bool((indices == np.arange(dropped, length)).all()):
-            # Identity (dropped == 0) or pure suffix: O(1) pointer bump.
-            self.starts[row] += dropped
-            self.lengths[row] = k
-            return dropped
-        start = int(self.starts[row])
-        offsets = (np.arange(self.n_heads) * self.capacity)[:, None]
-        gidx = (offsets + start + indices).reshape(-1)
+        return self.pool.gather(self.tables[row], indices)
 
-        def compact(slab: np.ndarray | None) -> None:
-            if slab is None:
-                return
-            view = slab[row]
-            if view.ndim == 2:
-                taken = view.reshape(-1).take(gidx)
-                view[:, start : start + k] = taken.reshape(self.n_heads, k)
-            else:
-                taken = view.reshape(self.n_heads * self.capacity, self.d_head).take(
-                    gidx, axis=0
-                )
-                view[:, start : start + k] = taken.reshape(self.n_heads, k, self.d_head)
-
-        compact(self._k)
-        compact(self._v)
-        compact(self._pos)
-        # Rotation depends only on the preserved original position, so the
-        # (always fully rotated) rotated slab stays valid under compaction.
-        compact(self._k_rot)
-        self.lengths[row] = k
-        return dropped
+    def append_pages_needed(self, n_active: int) -> int:
+        """Pages this layer must allocate to append one token to every active
+        row (used by the engine's preemption check before a decode step)."""
+        ps = self.pool.page_size
+        needed = 0
+        for table in self.tables[:n_active]:
+            if table.end == table.allocated(ps):
+                needed += 1
+            elif table.pages and self.pool.refcounts[table.pages[table.end // ps]] > 1:
+                needed += 1  # copy-on-write of a shared last page
+        return needed
 
     # ------------------------------------------------------------------
-    def _realign(self, n_active: int) -> int:
-        """Shift rows so every active row shares one start; return that start.
-
-        Rows usually advance their starts in lockstep (same budget, same
-        eviction cadence), so this is a no-op on the steady-state hot path.
-        Divergence appears when a sequence joins mid-stream or rows evict
-        different amounts; the lagging rows are then moved once, each an
-        O(live) copy comparable to a single compaction.
-        """
-        if n_active == 0:
-            return 0
-        starts = self.starts[:n_active]
-        target = int(starts.min())
-        if int(starts.max()) == target:
-            return target
-        for row in range(n_active):
-            start = int(starts[row])
-            if start == target:
-                continue
-            length = int(self.lengths[row])
-            for slab in (self._k, self._v, self._pos, self._k_rot):
-                if slab is None:
-                    continue
-                # Leftward move; copy the source to be safe under overlap.
-                slab[row, :, target : target + length] = slab[
-                    row, :, start : start + length
-                ].copy()
-            self.starts[row] = target
-        return target
-
-    def padded_views(
-        self, n_active: int
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
-        """Zero-copy padded views over the active rows.
-
-        Returns ``(keys, values, positions, max_len)`` where each array is a
-        slab view of shape ``(R, H, max_len, ...)``; row ``b`` is valid up to
-        ``lengths[b]`` entries.  ``keys`` are the *raw* (unrotated) keys; use
-        :meth:`rotated_padded` for the RoPE-rotated slab.  Rows are realigned
-        to a common start first (a steady-state no-op).
-        """
-        start = self._realign(n_active)
-        max_len = int(self.lengths[:n_active].max(initial=0))
-        stop = start + max_len
+    # reads
+    # ------------------------------------------------------------------
+    def row_view(self, row: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Dense ``(1, H, L, ...)`` keys/values/positions of one row."""
+        table = self.tables[row]
         return (
-            self._k[:n_active, :, start:stop],
-            self._v[:n_active, :, start:stop],
-            self._pos[:n_active, :, start:stop],
-            max_len,
+            self.pool.keys_view(table)[None],
+            self.pool.values_view(table)[None],
+            self.pool.positions_view(table)[None],
         )
-
-    def rotated_padded(self, n_active: int, max_len: int) -> np.ndarray:
-        """Padded view of the rotated-key slab (requires ``rope_dims > 0``).
-
-        Call after :meth:`padded_views` (shares its realigned common start).
-        """
-        if self._k_rot is None:
-            raise RuntimeError("rotated-key slab disabled (rope_dims == 0)")
-        start = int(self.starts[:n_active].min()) if n_active else 0
-        return self._k_rot[:n_active, :, start : start + max_len]
 
     def positions_row(self, row: int) -> np.ndarray:
         """Original positions of row ``row``'s live entries, shape ``(1, H, L)``."""
-        start = int(self.starts[row])
-        stop = start + int(self.lengths[row])
-        return self._pos[row : row + 1, :, start:stop]
+        return self.pool.positions_view(self.tables[row])[None]
+
+    def padded_batch(
+        self, n_active: int, rotated: bool
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+        """Padded ``(R, H, max_len, ...)`` batch tensors read through the page
+        tables: ``(keys, values, positions, lengths, max_len)``.
+
+        ``keys`` is the rotated-key slab content when ``rotated`` (RoPE at
+        original positions) and the raw keys otherwise.  Row ``b`` is valid up
+        to ``lengths[b]`` entries; padding is zero (benign for the masked
+        float32 path, ignored by the exact-length float64 path).  A lone
+        active row on contiguous pages is returned as zero-copy pool views —
+        the contiguous fast path of the paged read.
+        """
+        pool = self.pool
+        lengths = self.lengths[:n_active]
+        max_len = int(lengths.max(initial=0))
+        if n_active == 1:
+            table = self.tables[0]
+            keys = pool.rotated_view(table) if rotated else pool.keys_view(table)
+            return (
+                keys[None],
+                pool.values_view(table)[None],
+                pool.positions_view(table)[None],
+                lengths,
+                max_len,
+            )
+        if self._ws is None or self._ws[0].shape[2] < max_len:
+            h, d = self.n_heads, self.d_head
+            cap = max(max_len, 2 * (self._ws[0].shape[2] if self._ws else 0), 16)
+            self._ws = (
+                np.zeros((self.max_batch, h, cap, d), dtype=self.dtype),
+                np.zeros((self.max_batch, h, cap, d), dtype=self.dtype),
+                np.zeros((self.max_batch, h, cap), dtype=np.int64),
+            )
+        keys = self._ws[0][:n_active, :, :max_len]
+        values = self._ws[1][:n_active, :, :max_len]
+        positions = self._ws[2][:n_active, :, :max_len]
+        for row in range(n_active):
+            pool.fill_row(self.tables[row], keys[row], values[row], positions[row], rotated)
+        return keys, values, positions, lengths, max_len
 
 
 class BatchedLayerView:
@@ -361,13 +319,22 @@ class BatchedLayerView:
 
 
 class BatchedCacheManager:
-    """Owns per-layer batched KV slabs and one eviction policy per sequence.
+    """Owns the paged store's per-layer pools and one eviction policy per row.
 
     The lifecycle mirrors :class:`~repro.kvcache.manager.CacheManager`, but
     sequences ``join`` and ``retire`` independently and every per-sequence
     quantity (policy instance, :class:`CacheStats`, position cursor,
     generation step) lives in a row-indexed list that is compacted together
-    with the slab rows.
+    with the page tables.
+
+    Parameters
+    ----------
+    max_pool_tokens:
+        When set, the per-layer pools are **fixed** at
+        ``ceil(max_pool_tokens / page_size)`` pages and never grow: running
+        out becomes :class:`~repro.kvcache.paged.PoolExhausted`, which the
+        serving engine answers with registry reclamation and preemption.
+        When ``None`` (default) pools grow on demand like the solo cache.
     """
 
     def __init__(
@@ -379,6 +346,8 @@ class BatchedCacheManager:
         positional_mode: str = "original",
         dtype: np.dtype | str | None = None,
         rope_dims: int = 0,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        max_pool_tokens: int | None = None,
     ):
         if positional_mode not in ("original", "new"):
             raise ValueError(f"unknown positional mode {positional_mode!r}")
@@ -391,11 +360,26 @@ class BatchedCacheManager:
         # Rotated-key caching is only sound for stable original positions —
         # same rule as the single-sequence manager.
         self.rope_dims = int(rope_dims) if positional_mode == "original" else 0
+        self._rope_table = get_rope_table(rope_dims) if rope_dims > 0 else None
+        n_pages = (
+            None if max_pool_tokens is None else max(pages_needed(max_pool_tokens, page_size), 1)
+        )
+        self.store = PagedKVStore(
+            n_layers,
+            n_heads,
+            d_head,
+            page_size=page_size,
+            dtype=self.dtype,
+            rope_dims=self.rope_dims,
+            n_pages=n_pages,
+            growable=max_pool_tokens is None,
+        )
+        self.registry = PrefixRegistry(self.store)
         self.caches = [
             BatchedLayerKVCache(
-                max_batch, n_heads, d_head, dtype=self.dtype, rope_dims=self.rope_dims
+                max_batch, n_heads, d_head, pool=self.store.pools[layer]
             )
-            for _ in range(n_layers)
+            for layer in range(n_layers)
         ]
         self.n_active = 0
         self.policies: list[EvictionPolicy] = []
@@ -416,9 +400,19 @@ class BatchedCacheManager:
         prompt_logits: list[np.ndarray],
         max_new_tokens: int,
         policy: EvictionPolicy,
+        shared_prefix: PrefixMatch | None = None,
+        prompt_token_ids: np.ndarray | None = None,
     ) -> int:
-        """Admit one sequence: seed its row from prompt tensors, run the
-        policy's prompt-phase eviction, and return the assigned row index."""
+        """Admit one sequence and return its row index.
+
+        Without ``shared_prefix``, ``prompt_kv`` holds the full prompt
+        tensors; with it, they hold only the recomputed **suffix** — the
+        prefix pages are mapped from the registry match.  When
+        ``prompt_token_ids`` is given, the seeded prompt's page-aligned
+        chunks are registered for future prefix sharing *before* the policy's
+        prompt-phase eviction runs (eviction copy-on-writes away from
+        registered pages, so they stay pristine).
+        """
         if self.n_active >= self.max_batch:
             raise RuntimeError(f"batch is full ({self.max_batch} rows)")
         if len(prompt_kv) != self.n_layers:
@@ -428,17 +422,38 @@ class BatchedCacheManager:
         keys0 = prompt_kv[0][0]
         if keys0.shape[0] != 1:
             raise ValueError("join admits one sequence at a time (batch dim must be 1)")
-        prompt_len = keys0.shape[2]
+        shared_len = shared_prefix.length if shared_prefix is not None else 0
+        suffix_len = keys0.shape[2]
+        prompt_len = shared_len + suffix_len
         row = self.n_active
 
         policy.setup(self.n_layers, self.n_heads, 1, prompt_len, max_new_tokens)
-        needed = prompt_len + max_new_tokens + 1
-        positions = np.arange(prompt_len)
-        pos_bht = np.broadcast_to(positions, (1, self.n_heads, prompt_len))
-        for layer_idx, (keys, values) in enumerate(prompt_kv):
-            cache = self.caches[layer_idx]
-            cache.ensure_capacity(needed)
-            cache.join_row(row, keys, values, pos_bht)
+        suffix_positions = np.arange(shared_len, prompt_len)
+        pos_bht = np.broadcast_to(suffix_positions, (1, self.n_heads, suffix_len))
+        try:
+            for layer_idx, (keys, values) in enumerate(prompt_kv):
+                cache = self.caches[layer_idx]
+                if shared_prefix is not None:
+                    cache.join_row_shared(
+                        row,
+                        shared_prefix.pages_per_layer[layer_idx],
+                        shared_len,
+                        keys,
+                        values,
+                        pos_bht,
+                    )
+                else:
+                    cache.join_row(row, keys, values, pos_bht)
+        except Exception:
+            # A mid-join PoolExhausted must not leak the pages already seeded
+            # into earlier layers — unwind so the engine can preempt and retry.
+            for cache in self.caches:
+                cache.pool.release_table(cache.tables[row])
+            raise
+        if prompt_token_ids is not None:
+            self.registry.register(
+                prompt_token_ids, [cache.tables[row] for cache in self.caches]
+            )
 
         stats = CacheStats(
             n_layers=self.n_layers,
@@ -456,21 +471,55 @@ class BatchedCacheManager:
         self._step_lengths.append([])
         self.n_active += 1
 
+        positions = np.arange(prompt_len)
         shared_selection: np.ndarray | None = None
-        for layer_idx in range(self.n_layers):
-            selection = policy.initial_selection(
-                layer_idx, prompt_attn[layer_idx], prompt_logits[layer_idx], positions
-            )
-            if selection is None:
-                continue
-            if getattr(policy, "shared_selection", False):
-                shared_selection = selection
-            else:
-                self._apply_row_selection(layer_idx, row, selection)
-        if shared_selection is not None:
+        try:
             for layer_idx in range(self.n_layers):
-                self._apply_row_selection(layer_idx, row, shared_selection)
+                selection = policy.initial_selection(
+                    layer_idx, prompt_attn[layer_idx], prompt_logits[layer_idx], positions
+                )
+                if selection is None:
+                    continue
+                if getattr(policy, "shared_selection", False):
+                    shared_selection = selection
+                else:
+                    self._apply_row_selection(layer_idx, row, selection)
+            if shared_selection is not None:
+                for layer_idx in range(self.n_layers):
+                    self._apply_row_selection(layer_idx, row, shared_selection)
+        except Exception:
+            # The prompt-phase eviction can exhaust the pool too (a
+            # copy-on-write gather of registry-shared pages allocates fresh
+            # ones).  The row is fully admitted at this point, so unwind it
+            # through the normal retirement path before re-raising — the
+            # engine treats the failure as "join could not be funded".
+            self.retire(row)
+            raise
         return row
+
+    def prefix_tensors(
+        self, shared_prefix: PrefixMatch
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-layer ``(keys_for_attention, values)`` of a mapped prefix,
+        each of shape ``(1, H, P, d)``.
+
+        For RoPE models the keys are rotated at their original positions —
+        read straight from the rotated pages when the store maintains them,
+        recomputed once (bit-identically) in renumbered-position mode.
+        Views are zero-copy when the prefix pages are contiguous.
+        """
+        out = []
+        for layer_idx in range(self.n_layers):
+            pool = self.store.pools[layer_idx]
+            pages = shared_prefix.pages_per_layer[layer_idx]
+            if self._rope_table is not None and pool.rope_dims == 0:
+                keys, values = pool.page_tokens_view(pages, rotated=False)
+                positions = np.arange(shared_prefix.length)
+                keys = self._rope_table.rotate(keys, positions)
+            else:
+                keys, values = pool.page_tokens_view(pages, rotated=pool.rope_dims > 0)
+            out.append((keys[None], values[None]))
+        return out
 
     def retire(self, row: int) -> CacheStats:
         """Remove a finished sequence; the last active row moves into its slot.
@@ -499,6 +548,11 @@ class BatchedCacheManager:
         self._qpos = None
         return stats
 
+    def release_row(self, row: int) -> None:
+        """Drop a row without finalizing it (preemption): identical row
+        compaction to :meth:`retire`, stats discarded."""
+        self.retire(row)
+
     # ------------------------------------------------------------------
     # decode phase
     # ------------------------------------------------------------------
@@ -517,6 +571,18 @@ class BatchedCacheManager:
         for stats in self.stats:
             stats.total_appended += 1
 
+    def append_pages_shortfall(self) -> int:
+        """How many pages the tightest layer pool is short of to run one
+        decode step's appends.  Zero means the step cannot exhaust the pool;
+        positive means the engine must reclaim or preempt first."""
+        shortfall = 0
+        reclaimable = self.registry.reclaimable_pages()
+        for cache in self.caches:
+            needed = cache.append_pages_needed(self.n_active)
+            available = cache.pool.free_pages + reclaimable
+            shortfall = max(shortfall, needed - available)
+        return shortfall
+
     def attention_view_batch(
         self, layer_idx: int
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
@@ -528,33 +594,26 @@ class BatchedCacheManager:
         """
         cache = self.caches[layer_idx]
         r = self.n_active
-        keys_raw, values, pos, max_len = cache.padded_views(r)
-        lengths = cache.lengths[:r].copy()
+        rotated = self.positional_mode == "original" and self.rope_dims > 0
+        keys, values, pos, lengths, max_len = cache.padded_batch(r, rotated)
         for i in range(r):
             self._step_lengths[i].append(int(lengths[i]))
-        keys_rotated = False
         if self.positional_mode == "original":
             key_positions = pos
             query_positions = self.query_positions()
-            if self.rope_dims > 0:
-                keys = cache.rotated_padded(r, max_len)
-                keys_rotated = True
-            else:
-                keys = keys_raw
         else:
-            keys = keys_raw
             key_positions = np.broadcast_to(
                 np.arange(max_len), (r, self.n_heads, max_len)
             )
             query_positions = lengths - 1
-        return keys, values, key_positions, query_positions, lengths, keys_rotated
+        return keys, values, key_positions, query_positions, lengths, rotated
 
     def observe_batch(self, layer_idx: int, logits: np.ndarray, probs: np.ndarray) -> None:
         """Feed each row's exact-length logits/probs slice to its own policy."""
         cache = self.caches[layer_idx]
         for row in range(self.n_active):
             policy = self.policies[row]
-            length = int(cache.lengths[row])
+            length = cache.tables[row].length
             selection = policy.step_selection(
                 layer_idx,
                 logits[row : row + 1, :, :length],
@@ -587,4 +646,10 @@ class BatchedCacheManager:
 
     def cache_lengths(self, row: int) -> list[int]:
         """Current per-layer cache lengths of one sequence."""
-        return [int(cache.lengths[row]) for cache in self.caches]
+        return [cache.tables[row].length for cache in self.caches]
+
+    def pool_usage(self) -> dict:
+        """Aggregate page-pool utilization plus registry occupancy."""
+        usage = self.store.usage()
+        usage["registry_chunks"] = len(self.registry)
+        return usage

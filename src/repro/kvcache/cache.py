@@ -1,36 +1,44 @@
-"""Per-layer key/value cache storage backed by preallocated slabs.
+"""Per-layer key/value cache: a thin view over the paged block-pool store.
 
 Keys are stored *unrotated* (before RoPE) together with the original position
 of every token, so the attention step can apply either the original positional
 information (Keyformer (Org Pos)) or a contiguous renumbering
 (Keyformer (New Pos)) at read time.  Because eviction policies operate per
 attention head, every head of a layer may retain a different set of tokens:
-the storage layout is ``(batch, heads, length, d_head)`` with per-head
+the logical layout is ``(batch, heads, length, d_head)`` with per-head
 position arrays.
 
-Each tensor (keys, values, positions and — when ``rope_dims > 0`` — rotated
-keys) lives in its own preallocated slab of shape
-``(batch, heads, capacity, d_head)`` with a shared live-length cursor:
-``append`` is an in-place write (amortized O(1), capacity doubles when
-exhausted) and ``gather`` compacts the live prefix in place with a flattened
-row-gather, so the per-token cost of incremental decoding never pays a
-full-cache reallocation.  Keeping the slabs separate (rather than fusing
-them) preserves a contiguous token axis, which the attention einsum's memory
-locality depends on.  The rotated-key slab holds keys rotated by their
-original positions: new entries are rotated once on first use and eviction
-compacts the rotated slab with the same indices, eliminating the per-step
-O(L) re-rotation of unchanged keys.
+Physically, storage lives in a :class:`~repro.kvcache.paged.BlockPool` of
+fixed-size pages shared with every other sequence on the same layer; this
+class only holds one :class:`~repro.kvcache.paged.PageTable` per batch row
+and translates the historical slab API (``append`` / ``gather`` /
+``rotated_keys`` / ``reorder``) into page-table operations.  The single
+implementation of append/grow/gather/rotate is the pool's — the batched
+serving cache (:mod:`repro.kvcache.batch`) is a view over the same code.
+
+Two properties of the old slab design are preserved by construction:
+
+* a solo sequence's pages are allocated as one ascending run, so ``keys`` /
+  ``values`` / ``positions`` are zero-copy pool views (contiguous token
+  axis) exactly like the old slab prefix;
+* rotated keys (RoPE at original positions) are maintained *eagerly* by the
+  pool — rotation is elementwise per token, so eager and the old lazy
+  rotation are bit-identical — and eviction compacts the rotated pages with
+  the same indices, keeping decode free of per-step O(L) re-rotation.
+
+``reorder`` (beam search) duplicates page tables instead of copying slabs:
+the duplicated rows share pages until their first divergent write, at which
+point the pool's copy-on-write gives each beam a private page.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.models.positional import RopeTable, get_rope_table
+from repro.kvcache.paged import DEFAULT_PAGE_SIZE, BlockPool, PageTable, pages_needed
+from repro.models.positional import RopeTable
 
 __all__ = ["LayerKVCache"]
-
-_MIN_CAPACITY = 16
 
 
 class LayerKVCache:
@@ -46,14 +54,19 @@ class LayerKVCache:
         Storage/compute dtype; defaults to the dtype of ``keys`` when it is a
         floating type, otherwise ``float64``.
     capacity:
-        Initial slab capacity (number of token slots).  Defaults to the
-        initial length; the slab doubles whenever ``append`` runs out of room.
+        Token slots to reserve per sequence up front (rounded up to whole
+        pages).  Defaults to the initial length; more pages are allocated
+        whenever ``append`` runs out of room.
     rope_dims:
         When positive, maintain a rotated-key slab (RoPE applied at original
         positions) alongside the raw keys.
     rope_table:
         Optional shared :class:`RopeTable`; defaults to the process-wide table
         for ``rope_dims``.
+    pool:
+        Optional shared :class:`BlockPool` to store pages in (the cache
+        manager passes one per layer).  When omitted a private growable pool
+        is created — the standalone behaviour of the historical slab cache.
     """
 
     def __init__(
@@ -65,6 +78,8 @@ class LayerKVCache:
         capacity: int | None = None,
         rope_dims: int = 0,
         rope_table: RopeTable | None = None,
+        pool: BlockPool | None = None,
+        page_size: int | None = None,
     ):
         keys = np.asarray(keys)
         values = np.asarray(values)
@@ -81,34 +96,38 @@ class LayerKVCache:
                 f"positions shape {positions.shape} must match {keys.shape[:3]}"
             )
 
-        self.rope_dims = int(rope_dims)
-        self._rope_table = rope_table
-        if self.rope_dims > 0 and rope_table is None:
-            self._rope_table = get_rope_table(self.rope_dims)
-
         b, h, t, d = keys.shape
-        cap = max(int(capacity) if capacity is not None else t, t)
-        self._k = np.empty((b, h, cap, d), dtype=self.dtype)
-        self._v = np.empty((b, h, cap, d), dtype=self.dtype)
-        self._pos = np.empty((b, h, cap), dtype=np.int64)
-        self._k[:, :, :t] = keys
-        self._v[:, :, :t] = values
-        self._pos[:, :, :t] = positions
-        self._len = t
-        self._k_rot = (
-            np.empty((b, h, cap, d), dtype=self.dtype) if self.rope_dims > 0 else None
-        )
-        #: Number of leading live entries whose rotated form is up to date.
-        self._rot_len = 0
-        # True when the stale region [_rot_len, _len) consists purely of
-        # appended tokens (each written at one scalar position across batch
-        # and heads) — enables the uniform-rotation fast path.
-        self._stale_is_append = False
-        self._last_append_pos = 0
-        # Per-instance caches for per-step allocations (row offsets of the
-        # flattened gather, read-only position view); invalidated on mutation.
-        self._row_offsets: np.ndarray | None = None
-        self._pos_ro: np.ndarray | None = None
+        self.rope_dims = int(rope_dims)
+        cap = max(int(capacity) if capacity is not None else t, t, 1)
+        if pool is None:
+            ps = page_size or DEFAULT_PAGE_SIZE
+            pool = BlockPool(
+                h,
+                d,
+                page_size=ps,
+                n_pages=max(b, 1) * max(pages_needed(cap, ps), 1) + 1,
+                dtype=self.dtype,
+                rope_dims=self.rope_dims,
+                rope_table=rope_table,
+                growable=True,
+            )
+        self._pool = pool
+
+        if keys.dtype != self.dtype:
+            keys = keys.astype(self.dtype)
+        if values.dtype != self.dtype:
+            values = values.astype(self.dtype)
+        self._tables: list[PageTable] = []
+        for row in range(b):
+            table = PageTable()
+            pool.extend(table, keys[row], values[row], positions[row], reserve_tokens=cap)
+            self._tables.append(table)
+
+        # Dense materializations are cached per mutation epoch so repeated
+        # property reads within one decoding step cost one resolve at most.
+        self._version = 0
+        self._dense: dict[str, np.ndarray] = {}
+        self._dense_version = -1
 
         self.total_appended = t
         self.total_evicted = 0
@@ -148,74 +167,107 @@ class LayerKVCache:
         )
 
     # ------------------------------------------------------------------
+    def _resolve(self, name: str) -> np.ndarray:
+        """Dense ``(B, H, L, ...)`` materialization of one pool slab.
+
+        For a single-row cache on physically contiguous pages this is a
+        zero-copy pool view; otherwise a page gather assembles the rows.
+        """
+        if self._dense_version != self._version:
+            self._dense = {}
+            self._dense_version = self._version
+        cached = self._dense.get(name)
+        if cached is not None:
+            return cached
+        pool = self._pool
+        reader = {
+            "keys": pool.keys_view,
+            "values": pool.values_view,
+            "positions": pool.positions_view,
+            "rotated": pool.rotated_view,
+        }[name]
+        rows = [reader(table) for table in self._tables]
+        if len(rows) == 1:
+            dense = rows[0][None]
+        else:
+            dense = np.stack(rows)
+        if name == "positions":
+            dense = dense.view()
+            dense.flags.writeable = False
+        self._dense[name] = dense
+        return dense
+
     @property
     def keys(self) -> np.ndarray:
-        """Live (unrotated) keys, shape ``(B, H, L, d)`` — a view of the slab."""
-        return self._k[:, :, : self._len]
+        """Live (unrotated) keys, shape ``(B, H, L, d)`` — a pool view when
+        the sequence's pages are contiguous."""
+        return self._resolve("keys")
 
     @property
     def values(self) -> np.ndarray:
-        """Live values, shape ``(B, H, L, d)`` — a view of the slab."""
-        return self._v[:, :, : self._len]
+        """Live values, shape ``(B, H, L, d)``."""
+        return self._resolve("values")
 
     @property
     def positions(self) -> np.ndarray:
-        """Live original positions, shape ``(B, H, L)`` — a view of the slab."""
-        return self._pos[:, :, : self._len]
+        """Live original positions, shape ``(B, H, L)`` (read-only)."""
+        return self._resolve("positions")
 
     @property
     def batch_size(self) -> int:
-        return self._k.shape[0]
+        return len(self._tables)
 
     @property
     def n_heads(self) -> int:
-        return self._k.shape[1]
+        return self._pool.n_heads
 
     @property
     def length(self) -> int:
         """Number of cached tokens (per head)."""
-        return self._len
+        return self._tables[0].length
 
     @property
     def capacity(self) -> int:
-        """Allocated token slots in the slab."""
-        return self._k.shape[2]
+        """Allocated token slots per sequence (whole pages)."""
+        table = self._tables[0]
+        return table.allocated(self._pool.page_size) - table.offset
 
     @property
     def d_head(self) -> int:
-        return self._k.shape[3]
+        return self._pool.d_head
+
+    @property
+    def page_size(self) -> int:
+        return self._pool.page_size
+
+    @property
+    def pool(self) -> BlockPool:
+        return self._pool
+
+    @property
+    def tables(self) -> list[PageTable]:
+        return self._tables
 
     def __len__(self) -> int:
-        return self._len
+        return self._tables[0].length
 
-    def nbytes(self, dtype_bytes: int = 2) -> int:
-        """Size of the cached keys+values if stored with ``dtype_bytes`` per scalar
-        (2 bytes = fp16, matching deployment practice)."""
-        return 2 * self.batch_size * self.n_heads * self._len * self.d_head * dtype_bytes
+    def nbytes(self, dtype_bytes: int | None = None) -> int:
+        """Resident size of the cached keys+values.
+
+        ``dtype_bytes`` defaults to the **actual** storage dtype's item size
+        (the historical default silently assumed fp16); pass an explicit
+        value to model a different deployment dtype.
+        """
+        if dtype_bytes is None:
+            dtype_bytes = self.dtype.itemsize
+        return 2 * self.batch_size * self.n_heads * self.length * self.d_head * dtype_bytes
 
     # ------------------------------------------------------------------
-    def _grow(self, needed: int) -> None:
-        new_cap = max(_MIN_CAPACITY, 2 * self.capacity, needed)
-        b, h, _, d = self._k.shape
-
-        def grown(slab: np.ndarray, trailing: tuple[int, ...]) -> np.ndarray:
-            fresh = np.empty((b, h, new_cap) + trailing, dtype=slab.dtype)
-            fresh[:, :, : self._len] = slab[:, :, : self._len]
-            return fresh
-
-        self._k = grown(self._k, (d,))
-        self._v = grown(self._v, (d,))
-        self._pos = grown(self._pos, ())
-        if self._k_rot is not None:
-            self._k_rot = grown(self._k_rot, (d,))
-        self._row_offsets = None
-        self._pos_ro = None
-
     def append(self, k: np.ndarray, v: np.ndarray, position: int) -> None:
         """Append the key/value of a new token at original position ``position``.
 
         ``k`` and ``v`` have shape ``(batch, heads, d_head)``.  This is an
-        in-place slab write; the slab doubles when capacity is exhausted.
+        in-place page write; a new page is allocated only on a page boundary.
         """
         k = np.asarray(k)
         v = np.asarray(v)
@@ -224,44 +276,20 @@ class LayerKVCache:
             raise ValueError(f"append expects shape {expected}, got {k.shape}")
         if v.shape != expected:
             raise ValueError(f"append expects value shape {expected}, got {v.shape}")
-        if self._len == self.capacity:
-            self._grow(self._len + 1)
-        if self._rot_len == self._len:
-            # Stale region was empty, so it now holds only this append.
-            self._stale_is_append = True
-        self._k[:, :, self._len] = k
-        self._v[:, :, self._len] = v
-        self._pos[:, :, self._len] = int(position)
-        self._last_append_pos = int(position)
-        self._len += 1
-        self._pos_ro = None
+        for row, table in enumerate(self._tables):
+            self._pool.append(table, k[row], v[row], int(position))
+        self._version += 1
         self.total_appended += 1
 
     # ------------------------------------------------------------------
     def rotated_keys(self) -> np.ndarray:
         """Live keys rotated by their *original* positions, shape ``(B, H, L, d)``.
 
-        Maintained incrementally: only entries appended (or invalidated) since
-        the last call are rotated, so steady-state decoding rotates one token
-        per step instead of the whole cache.
+        The pool maintains the rotated pages eagerly (one elementwise
+        rotation per appended token — bit-identical to rotating lazily), so
+        this is a plain materialization.
         """
-        if self._k_rot is None:
-            raise RuntimeError("rotated-key cache disabled (rope_dims == 0)")
-        if self._rot_len < self._len:
-            stale = slice(self._rot_len, self._len)
-            if self._stale_is_append and self._len - self._rot_len == 1:
-                # Steady state: exactly the just-appended token is stale, and
-                # append writes one scalar position across batch and heads.
-                self._k_rot[:, :, stale] = self._rope_table.rotate_uniform(
-                    self._k[:, :, stale], self._last_append_pos
-                )
-            else:
-                self._k_rot[:, :, stale] = self._rope_table.rotate(
-                    self._k[:, :, stale], self._pos[:, :, stale]
-                )
-            self._rot_len = self._len
-            self._stale_is_append = False
-        return self._k_rot[:, :, : self._len]
+        return self._resolve("rotated")
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -270,31 +298,13 @@ class LayerKVCache:
             return False
         return bool((indices == np.arange(length)).all())
 
-    def _compact(self, slab: np.ndarray, gidx: np.ndarray, k: int) -> None:
-        """Write the entries selected by flat row-gather indices ``gidx`` into
-        ``slab[:, :, :k]`` in place.
-
-        Uses a flattened ``np.take`` (row gather on a 2-D view) instead of
-        ``np.take_along_axis``: the same copy with an order of magnitude less
-        indexing overhead, which matters when eviction runs every step.  The
-        gather materializes before the write-back, so compacting the slab onto
-        its own prefix is safe.
-        """
-        b, h = slab.shape[0], slab.shape[1]
-        if slab.ndim == 4:
-            flat = slab.reshape(b * h * self.capacity, slab.shape[3])
-            taken = flat.take(gidx, axis=0)
-            slab[:, :, :k] = taken.reshape(b, h, k, slab.shape[3])
-        else:
-            flat = slab.reshape(b * h * self.capacity)
-            slab[:, :, :k] = flat.take(gidx).reshape(b, h, k)
-
     def gather(self, indices: np.ndarray) -> None:
         """Retain only the entries selected by ``indices`` of shape ``(B, H, K)``.
 
         Indices must be sorted ascending per head so chronological order inside
-        the cache is preserved.  Compaction happens in place inside the slabs;
-        an identity selection (nothing evicted) is a no-op.
+        the cache is preserved.  An identity selection is a no-op and a pure
+        suffix selection is an O(1) page-table bump; anything else compacts
+        the pages in place (copy-on-write when any page is shared).
         """
         indices = np.asarray(indices, dtype=np.int64)
         if indices.ndim == 1:
@@ -304,66 +314,58 @@ class LayerKVCache:
                 f"indices shape {indices.shape} incompatible with cache "
                 f"({self.batch_size}, {self.n_heads}, ...)"
             )
-        if indices.size and (indices.min() < 0 or indices.max() >= self._len):
+        length = self.length
+        if indices.size and (indices.min() < 0 or indices.max() >= length):
             raise IndexError("gather indices out of range")
-        if self._is_identity(indices, self._len):
+        if self._is_identity(indices, length):
             return
-        k = indices.shape[-1]
-        n_rows = self.batch_size * self.n_heads
-        if self._row_offsets is None:
-            self._row_offsets = (np.arange(n_rows) * self.capacity)[:, None]
-        gidx = (self._row_offsets + indices.reshape(n_rows, k)).reshape(-1)
-        self._compact(self._k, gidx, k)
-        self._compact(self._v, gidx, k)
-        self._compact(self._pos, gidx, k)
-        if self._k_rot is not None:
-            if self._rot_len == self._len:
-                # Rotation depends only on the (preserved) original position,
-                # so a fully valid rotated slab stays valid under compaction.
-                self._compact(self._k_rot, gidx, k)
-                self._rot_len = k
-            else:
-                # Partially rotated: recompute lazily over gathered entries,
-                # whose per-head positions are no longer uniform.
-                self._rot_len = 0
-                self._stale_is_append = False
-        evicted = self._len - k
-        self._len = k
-        self._pos_ro = None
+        evicted = 0
+        for row, table in enumerate(self._tables):
+            evicted = self._pool.gather(table, indices[row])
+        self._version += 1
         self.total_evicted += max(evicted, 0)
 
     def reorder(self, batch_indices: np.ndarray) -> None:
-        """Reorder (or duplicate) the batch dimension — used by beam search."""
+        """Reorder (or duplicate) the batch dimension — used by beam search.
+
+        Pure page-table bookkeeping: duplicated rows share pages (refcount
+        bumped) until copy-on-write splits them at the first divergent write.
+        """
         batch_indices = np.asarray(batch_indices, dtype=np.int64)
         if batch_indices.size and (
             batch_indices.min() < 0 or batch_indices.max() >= self.batch_size
         ):
             raise IndexError("reorder indices out of range")
-        self._k = self._k[batch_indices]
-        self._v = self._v[batch_indices]
-        self._pos = self._pos[batch_indices]
-        if self._k_rot is not None:
-            self._k_rot = self._k_rot[batch_indices]
-        self._row_offsets = None
-        self._pos_ro = None
+        fresh = []
+        for idx in batch_indices:
+            table = self._tables[int(idx)].clone()
+            self._pool.retain(table.pages)
+            fresh.append(table)
+        for table in self._tables:
+            self._pool.release_table(table)
+        self._tables = fresh
+        self._version += 1
 
     # ------------------------------------------------------------------
     def retained_original_positions(self) -> np.ndarray:
         """Original positions of the retained tokens, shape ``(B, H, L)``.
 
-        Returns a **read-only view** into the slab: valid until the next
+        Returns a **read-only view**: valid until the next
         ``append``/``gather``/``reorder``; copy it to keep it longer.
         """
-        if self._pos_ro is None:
-            view = self._pos[:, :, : self._len]
-            view.flags.writeable = False
-            self._pos_ro = view
-        return self._pos_ro
+        return self._resolve("positions")
 
     def renumbered_positions(self) -> np.ndarray:
         """Contiguous 0..L-1 positions (Keyformer (New Pos) mode), shape ``(B, H, L)``.
 
         Returns a read-only broadcast view (no per-call allocation).
         """
-        idx = np.arange(self._len)
-        return np.broadcast_to(idx, (self.batch_size, self.n_heads, self._len))
+        idx = np.arange(self.length)
+        return np.broadcast_to(idx, (self.batch_size, self.n_heads, self.length))
+
+    # ------------------------------------------------------------------
+    def release(self) -> None:
+        """Return every page to the pool (used when a manager tears down)."""
+        for table in self._tables:
+            self._pool.release_table(table)
+        self._version += 1

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.policies import EvictionPolicy
 from repro.kvcache.cache import LayerKVCache
+from repro.kvcache.paged import DEFAULT_PAGE_SIZE, PagedKVStore, pages_needed
 from repro.kvcache.stats import CacheStats
 
 __all__ = ["CacheManager", "LayerCacheView"]
@@ -67,6 +68,7 @@ class CacheManager:
         positional_mode: str | None = None,
         dtype: np.dtype | str | None = None,
         rope_dims: int = 0,
+        page_size: int = DEFAULT_PAGE_SIZE,
     ):
         self.policy = policy
         self.n_layers = n_layers
@@ -79,6 +81,8 @@ class CacheManager:
         # Rotated-key caching is only sound when rotations are keyed to the
         # (stable) original positions; renumbered mode re-rotates per step.
         self.rope_dims = int(rope_dims) if self.positional_mode == "original" else 0
+        self.page_size = int(page_size)
+        self.store: PagedKVStore | None = None
         self.caches: list[LayerKVCache] = []
         self.stats = CacheStats(n_layers=n_layers, n_heads=n_heads, d_head=d_head)
         self.prompt_len = 0
@@ -86,6 +90,21 @@ class CacheManager:
         self.current_position = 0
         self._step_lengths: list[int] = []
         self._qpos_array: np.ndarray | None = None
+
+    def _build_store(self, batch_size: int, capacity: int) -> None:
+        """One growable :class:`PagedKVStore` per generation run — the single
+        storage substrate every per-layer cache view writes into."""
+        pages = max(pages_needed(capacity, self.page_size), 1) * max(batch_size, 1) + 1
+        self.store = PagedKVStore(
+            self.n_layers,
+            self.n_heads,
+            self.d_head,
+            page_size=self.page_size,
+            dtype=self.dtype,
+            rope_dims=self.rope_dims,
+            n_pages=pages,
+            growable=True,
+        )
 
     def _make_cache_kwargs(self, max_new_tokens: int, initial_len: int) -> dict:
         return {
@@ -136,9 +155,12 @@ class CacheManager:
         self.policy.setup(self.n_layers, self.n_heads, batch_size, prompt_len, max_new_tokens)
 
         cache_kwargs = self._make_cache_kwargs(max_new_tokens, prompt_len)
+        self._build_store(batch_size, cache_kwargs["capacity"])
         self.caches = [
-            LayerKVCache.from_prompt(keys, values, **cache_kwargs)
-            for keys, values in prompt_kv
+            LayerKVCache.from_prompt(
+                keys, values, pool=self.store.pool(layer), **cache_kwargs
+            )
+            for layer, (keys, values) in enumerate(prompt_kv)
         ]
         self.stats.total_appended += prompt_len * self.n_layers
 
@@ -168,9 +190,12 @@ class CacheManager:
             self.n_layers, self.n_heads, batch_size, max(prompt_len, 1), max_new_tokens
         )
         cache_kwargs = self._make_cache_kwargs(max_new_tokens, 0)
+        self._build_store(batch_size, cache_kwargs["capacity"])
         self.caches = [
-            LayerKVCache.empty(batch_size, self.n_heads, self.d_head, **cache_kwargs)
-            for _ in range(self.n_layers)
+            LayerKVCache.empty(
+                batch_size, self.n_heads, self.d_head, pool=self.store.pool(layer), **cache_kwargs
+            )
+            for layer in range(self.n_layers)
         ]
         self.stats = CacheStats(
             n_layers=self.n_layers,
@@ -270,6 +295,10 @@ class CacheManager:
         """Current per-layer cache lengths."""
         return [cache.length for cache in self.caches]
 
-    def total_kv_bytes(self, dtype_bytes: int = 2) -> int:
-        """Current resident KV-cache size across all layers."""
+    def total_kv_bytes(self, dtype_bytes: int | None = None) -> int:
+        """Current resident KV-cache size across all layers.
+
+        Defaults to the actual storage dtype (see ``LayerKVCache.nbytes``);
+        pass ``dtype_bytes`` to model a different deployment dtype.
+        """
         return sum(cache.nbytes(dtype_bytes) for cache in self.caches)

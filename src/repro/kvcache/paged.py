@@ -1,0 +1,878 @@
+"""Paged KV-cache storage: block pools, page tables and prefix sharing.
+
+This module is the single storage substrate under both cache front-ends
+(:class:`~repro.kvcache.cache.LayerKVCache` for solo/beam decoding and
+:class:`~repro.kvcache.batch.BatchedLayerKVCache` for the continuous-batching
+engine).  Instead of one private slab per sequence, every decoder layer owns a
+:class:`BlockPool` of fixed-size **pages** (``page_size`` token slots each,
+holding keys, values, original positions and — when ``rope_dims > 0`` —
+eagerly rotated keys), and every sequence holds one :class:`PageTable` per
+layer mapping its logical token axis onto pool pages:
+
+* **append** writes one token slot (allocating a page only on a boundary);
+* **gather** (eviction) keeps its fast paths — identity is a no-op, a pure
+  suffix selection is an O(1) offset bump that frees whole leading pages —
+  and otherwise compacts through a flat row-gather into (re)allocated pages;
+* **ref-counting + copy-on-write** let two sequences map the same physical
+  page: a page is only written in place when its refcount is 1, so sharing a
+  prompt prefix (or duplicating a beam) can never corrupt a neighbour;
+* **materialization** resolves a page table back into the dense
+  ``(heads, length, d_head)`` tensors attention consumes, with a zero-copy
+  slab view when the pages happen to be physically contiguous (the common
+  case for a solo sequence) and a page-gather copy otherwise.
+
+Pages within one pool share the token-major layout ``(heads, n_pages *
+page_size, d_head)``, so "physically contiguous pages" literally means a
+contiguous token axis — exactly the slab layout the attention einsum's memory
+locality depends on.
+
+:class:`PrefixRegistry` implements vLLM-style prefix caching on top of the
+ref-counts: page-aligned chunks of prompt token ids are hashed (chained, so a
+chunk is only reachable through its full prefix) to the physical pages that
+hold their KV, and a new request whose prompt starts with a registered chunk
+chain maps those pages instead of recomputing them.  Registered pages are
+pinned by a registry refcount and reclaimed LRU-first when the pool runs dry.
+
+Everything here is storage bookkeeping — no floating-point arithmetic beyond
+the (bit-exact, elementwise) eager RoPE rotation of new keys — which is what
+keeps the paged backend bit-identical to the historical slab backend.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.models.positional import RopeTable, get_rope_table
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "PoolExhausted",
+    "PageTable",
+    "BlockPool",
+    "PagedKVStore",
+    "PrefixMatch",
+    "PrefixRegistry",
+]
+
+DEFAULT_PAGE_SIZE = 16
+
+
+def pages_needed(n_tokens: int, page_size: int) -> int:
+    """Pages required to hold ``n_tokens`` token slots (ceil division)."""
+    return -(-int(n_tokens) // page_size)
+
+
+class PoolExhausted(RuntimeError):
+    """Raised when a fixed-size pool cannot allocate and nothing is reclaimable."""
+
+
+class PageTable:
+    """Per-sequence (per-layer) mapping of the logical token axis onto pages.
+
+    ``pages`` lists physical page ids in logical order; the live tokens occupy
+    slots ``offset .. offset + length`` of the concatenated pages.  A nonzero
+    ``offset`` arises from the suffix-eviction fast path (sliding-window
+    policies dropping the oldest tokens bump the offset instead of copying).
+    """
+
+    __slots__ = ("pages", "offset", "length")
+
+    def __init__(self) -> None:
+        self.pages: list[int] = []
+        self.offset = 0
+        self.length = 0
+
+    @property
+    def end(self) -> int:
+        """One past the last live slot (in concatenated-page coordinates)."""
+        return self.offset + self.length
+
+    def allocated(self, page_size: int) -> int:
+        """Total token slots covered by this table's pages."""
+        return len(self.pages) * page_size
+
+    def clone(self) -> "PageTable":
+        """Shallow copy sharing the same physical pages (caller must retain)."""
+        table = PageTable()
+        table.pages = list(self.pages)
+        table.offset = self.offset
+        table.length = self.length
+        return table
+
+
+class BlockPool:
+    """Fixed-size KV pages for one decoder layer.
+
+    Slabs are token-major — ``(n_heads, n_pages * page_size, d_head)`` for
+    keys/values/rotated keys and ``(n_heads, n_pages * page_size)`` for the
+    per-head original positions — so a run of consecutive page ids is a
+    contiguous token axis and materializes as a zero-copy view.
+
+    Parameters
+    ----------
+    growable:
+        When true (solo generation) the pool doubles on demand like the old
+        slabs did.  When false (the serving engine's memory-aware mode) an
+        allocation that cannot be satisfied first asks the ``reclaimer`` (the
+        prefix registry) to drop cold pinned pages and then raises
+        :class:`PoolExhausted`, which the engine turns into preemption.
+    """
+
+    def __init__(
+        self,
+        n_heads: int,
+        d_head: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        n_pages: int = 64,
+        dtype: np.dtype | str = np.float64,
+        rope_dims: int = 0,
+        rope_table: RopeTable | None = None,
+        growable: bool = True,
+    ):
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if n_pages <= 0:
+            raise ValueError("n_pages must be positive")
+        self.page_size = int(page_size)
+        self.dtype = np.dtype(dtype)
+        self.rope_dims = int(rope_dims)
+        self.rope_table = rope_table
+        if self.rope_dims > 0 and rope_table is None:
+            self.rope_table = get_rope_table(self.rope_dims)
+        self.growable = growable
+        self.reclaimer: Callable[[int], int] | None = None
+
+        n_slots = n_pages * self.page_size
+        # np.zeros (not empty): padded/stale slots must stay benign — the
+        # float32 serving path may touch them before masking.
+        self._k = np.zeros((n_heads, n_slots, d_head), dtype=self.dtype)
+        self._v = np.zeros((n_heads, n_slots, d_head), dtype=self.dtype)
+        self._pos = np.zeros((n_heads, n_slots), dtype=np.int64)
+        self._k_rot = (
+            np.zeros((n_heads, n_slots, d_head), dtype=self.dtype)
+            if self.rope_dims > 0
+            else None
+        )
+        self.refcounts = np.zeros(n_pages, dtype=np.int64)
+        self._free = list(range(n_pages))
+        heapq.heapify(self._free)
+        #: Pages currently mapped by more than one owner.  Zero means no
+        #: copy-on-write can ever be needed — the solo-decode steady state —
+        #: so the per-append/per-gather exclusivity checks reduce to one
+        #: integer comparison.
+        self._n_shared = 0
+
+    # ------------------------------------------------------------------
+    # geometry / accounting
+    # ------------------------------------------------------------------
+    @property
+    def n_heads(self) -> int:
+        return self._k.shape[0]
+
+    @property
+    def d_head(self) -> int:
+        return self._k.shape[2]
+
+    @property
+    def n_pages(self) -> int:
+        return self.refcounts.shape[0]
+
+    @property
+    def n_slots(self) -> int:
+        return self._k.shape[1]
+
+    @property
+    def free_pages(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_pages(self) -> int:
+        return self.n_pages - len(self._free)
+
+    @property
+    def shared_pages(self) -> int:
+        """Pages mapped by more than one owner (sequences and/or registry)."""
+        return self._n_shared
+
+    def pages_for(self, n_tokens: int) -> int:
+        """Pages needed to hold ``n_tokens`` token slots."""
+        return pages_needed(n_tokens, self.page_size)
+
+    # ------------------------------------------------------------------
+    # allocation / refcounting
+    # ------------------------------------------------------------------
+    def _grow(self, min_pages: int) -> None:
+        new_pages = max(min_pages, 2 * self.n_pages)
+        n_slots = new_pages * self.page_size
+
+        def grown(slab: np.ndarray | None, trailing: tuple[int, ...]) -> np.ndarray | None:
+            if slab is None:
+                return None
+            fresh = np.zeros((self.n_heads, n_slots) + trailing, dtype=slab.dtype)
+            fresh[:, : slab.shape[1]] = slab
+            return fresh
+
+        self._k = grown(self._k, (self.d_head,))
+        self._v = grown(self._v, (self.d_head,))
+        self._pos = grown(self._pos, ())
+        self._k_rot = grown(self._k_rot, (self.d_head,))
+        for page in range(self.n_pages, new_pages):
+            heapq.heappush(self._free, page)
+        self.refcounts = np.concatenate(
+            [self.refcounts, np.zeros(new_pages - self.n_pages, dtype=np.int64)]
+        )
+
+    def alloc(self, n: int) -> list[int]:
+        """Allocate ``n`` pages (refcount 1 each), lowest ids first.
+
+        Lowest-first keeps a freshly seeded sequence on a physically
+        contiguous run of pages, which is what the zero-copy materialization
+        fast path relies on.
+        """
+        if n <= 0:
+            return []
+        if len(self._free) < n:
+            if self.growable:
+                self._grow(self.used_pages + n)
+            elif self.reclaimer is not None:
+                self.reclaimer(n - len(self._free))
+        if len(self._free) < n:
+            raise PoolExhausted(
+                f"pool out of pages: need {n}, have {len(self._free)} free "
+                f"of {self.n_pages}"
+            )
+        pages = [heapq.heappop(self._free) for _ in range(n)]
+        self.refcounts[pages] = 1
+        return pages
+
+    def retain(self, pages: Iterable[int]) -> None:
+        for page in pages:
+            count = self.refcounts[page] + 1
+            self.refcounts[page] = count
+            if count == 2:
+                self._n_shared += 1
+
+    def release(self, pages: Iterable[int]) -> None:
+        for page in pages:
+            count = self.refcounts[page] - 1
+            if count < 0:
+                raise RuntimeError(f"page {page} released more times than retained")
+            self.refcounts[page] = count
+            if count == 0:
+                heapq.heappush(self._free, page)
+            elif count == 1:
+                self._n_shared -= 1
+
+    def release_table(self, table: PageTable) -> None:
+        self.release(table.pages)
+        table.pages = []
+        table.offset = 0
+        table.length = 0
+
+    # ------------------------------------------------------------------
+    # slot arithmetic
+    # ------------------------------------------------------------------
+    def slot_map(self, table: PageTable) -> np.ndarray:
+        """Flat pool slot of every live token, shape ``(length,)``."""
+        if not table.pages:
+            return np.empty(0, dtype=np.int64)
+        pages = np.asarray(table.pages, dtype=np.int64)
+        slots = (
+            pages[:, None] * self.page_size + np.arange(self.page_size)
+        ).reshape(-1)
+        return slots[table.offset : table.end]
+
+    def token_runs(self, table: PageTable) -> list[tuple[int, int, int]]:
+        """Live tokens as maximal physically-contiguous runs.
+
+        Returns ``(logical_start, pool_slot_start, length)`` triples; copying
+        run-by-run turns a fragmented table's materialization into a handful
+        of slice memcpys instead of an elementwise fancy-index gather.
+        """
+        ps = self.page_size
+        runs: list[tuple[int, int, int]] = []
+        logical = 0
+        i = 0
+        n_pages = len(table.pages)
+        while logical < table.length:
+            first = table.pages[i]
+            within = table.offset if i == 0 else 0
+            # Extend across consecutive page ids.
+            j = i + 1
+            while j < n_pages and table.pages[j] == table.pages[j - 1] + 1:
+                j += 1
+            span = (j - i) * ps - within
+            span = min(span, table.length - logical)
+            runs.append((logical, first * ps + within, span))
+            logical += span
+            i = j
+        return runs
+
+    def is_contiguous(self, table: PageTable) -> bool:
+        """True when the table's pages form one ascending run of page ids."""
+        pages = table.pages
+        if len(pages) <= 1:
+            return True
+        first = pages[0]
+        return all(pages[i] == first + i for i in range(1, len(pages)))
+
+    def _exclusive(self, table: PageTable) -> bool:
+        if self._n_shared == 0:
+            return True
+        return all(self.refcounts[page] == 1 for page in table.pages)
+
+    # ------------------------------------------------------------------
+    # writes: seed / extend / append
+    # ------------------------------------------------------------------
+    def _write_span(self, table: PageTable, start: int, array_by_slab) -> None:
+        """Write dense per-slab arrays into concatenated-page slots
+        ``start .. start + span`` of ``table`` (pages must already exist)."""
+        ps = self.page_size
+        if self.is_contiguous(table):
+            # One slice write per slab — the common case (ascending page run).
+            base = table.pages[0] * ps + start if table.pages else 0
+            for slab, data in array_by_slab:
+                if slab is None or data is None:
+                    continue
+                slab[:, base : base + data.shape[1]] = data
+            return
+        for slab, data in array_by_slab:
+            if slab is None or data is None:
+                continue
+            span = data.shape[1]
+            done = 0
+            while done < span:
+                slot = start + done
+                page = table.pages[slot // ps]
+                within = slot % ps
+                chunk = min(ps - within, span - done)
+                base = page * ps + within
+                slab[:, base : base + chunk] = data[:, done : done + chunk]
+                done += chunk
+
+    def extend(
+        self,
+        table: PageTable,
+        keys: np.ndarray,
+        values: np.ndarray,
+        positions: np.ndarray,
+        reserve_tokens: int = 0,
+    ) -> None:
+        """Bulk-append ``keys``/``values`` of shape ``(heads, T, d_head)`` with
+        per-head ``positions`` of shape ``(heads, T)`` at the table's end.
+
+        Seeding a fresh table is ``extend`` on an empty one.  ``reserve_tokens``
+        pre-allocates capacity beyond the written tokens (the historical
+        ``capacity`` constructor argument of the slab caches).
+        """
+        t = keys.shape[1]
+        needed_slots = max(table.end + t, table.offset + reserve_tokens)
+        needed_pages = self.pages_for(max(needed_slots, 1))
+        if needed_pages > len(table.pages):
+            table.pages.extend(self.alloc(needed_pages - len(table.pages)))
+        if t == 0:
+            return
+        start = table.end
+        ps = self.page_size
+        if table.pages and start < table.allocated(ps):
+            # The first written slot lands inside the current last page; COW
+            # it if shared (e.g. right after a beam duplicated this table).
+            self._copy_on_write(table, start // ps)
+        k_rot = None
+        if self._k_rot is not None:
+            k_rot = self.rope_table.rotate(keys, positions)
+        self._write_span(
+            table,
+            start,
+            [
+                (self._k, keys),
+                (self._v, values),
+                (self._pos, positions),
+                (self._k_rot, k_rot),
+            ],
+        )
+        table.length += t
+
+    def _copy_on_write(self, table: PageTable, page_index: int) -> None:
+        """Give ``table`` an exclusive copy of its ``page_index``-th page."""
+        if self._n_shared == 0:
+            return
+        page = table.pages[page_index]
+        if self.refcounts[page] == 1:
+            return
+        (fresh,) = self.alloc(1)
+        ps = self.page_size
+        src, dst = page * ps, fresh * ps
+        for slab in (self._k, self._v, self._pos, self._k_rot):
+            if slab is not None:
+                slab[:, dst : dst + ps] = slab[:, src : src + ps]
+        table.pages[page_index] = fresh
+        self.release([page])
+
+    def append(self, table: PageTable, k: np.ndarray, v: np.ndarray, position: int) -> None:
+        """Append one token (``k``/``v`` of shape ``(heads, d_head)``)."""
+        slot = self._append_slot(table)
+        self._k[:, slot] = k
+        self._v[:, slot] = v
+        self._pos[:, slot] = int(position)
+        if self._k_rot is not None:
+            self._k_rot[:, slot] = self.rope_table.rotate_uniform(k, int(position))
+        table.length += 1
+
+    def _append_slot(self, table: PageTable) -> int:
+        """Flat pool slot for the next appended token (allocates / COWs)."""
+        ps = self.page_size
+        end = table.end
+        if end == table.allocated(ps):
+            table.pages.extend(self.alloc(1))
+        else:
+            self._copy_on_write(table, end // ps)
+        page = table.pages[end // ps]
+        return page * ps + end % ps
+
+    def append_rows(
+        self,
+        tables: Sequence[PageTable],
+        k: np.ndarray,
+        v: np.ndarray,
+        positions: np.ndarray,
+    ) -> None:
+        """Append one token per table: ``k``/``v`` of shape ``(rows, heads,
+        d_head)``, ``positions`` of shape ``(rows,)``.
+
+        Slot resolution is per row (page boundaries differ), but the actual
+        slab writes are one vectorized scatter per slab — the steady-state
+        decode cost is one indexed write, not a Python loop of copies.
+        """
+        if not len(tables):
+            return
+        slots = np.empty(len(tables), dtype=np.int64)
+        for i, table in enumerate(tables):
+            slots[i] = self._append_slot(table)
+        positions = np.asarray(positions, dtype=np.int64)
+        self._k[:, slots] = k.transpose(1, 0, 2)
+        self._v[:, slots] = v.transpose(1, 0, 2)
+        self._pos[:, slots] = positions
+        if self._k_rot is not None:
+            # Per-row positions; elementwise, so each row is bit-identical to
+            # the solo cache's rotate_uniform at that position.
+            k_rot = self.rope_table.rotate(k, positions[:, None])
+            self._k_rot[:, slots] = k_rot.transpose(1, 0, 2)
+        for table in tables:
+            table.length += 1
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+    def gather(self, table: PageTable, indices: np.ndarray) -> int:
+        """Retain only the live entries selected by ``indices`` of shape
+        ``(heads, K)`` (ascending per head, relative to the live region).
+
+        Fast paths: an identity selection is a no-op; a pure suffix selection
+        (all heads keeping exactly the newest ``K`` tokens) bumps the offset
+        and frees fully-skipped leading pages without touching any data.  The
+        general path compacts through a flat row-gather — into the table's
+        own pages when they are exclusively owned, into freshly allocated
+        pages when any are shared (copy-on-write).  Returns the number of
+        evicted entries.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim == 3:
+            indices = indices[0]
+        length = table.length
+        if indices.shape[0] != self.n_heads:
+            raise ValueError(
+                f"gather expects ({self.n_heads}, K) indices, got {indices.shape}"
+            )
+        if indices.size and (indices.min() < 0 or indices.max() >= length):
+            raise IndexError("gather indices out of range")
+        k = indices.shape[-1]
+        dropped = length - k
+        ps = self.page_size
+        if bool((indices == np.arange(dropped, length)).all()):
+            # Identity (dropped == 0) or pure suffix: O(1) pointer bump.
+            table.offset += dropped
+            table.length = k
+            if k == 0:
+                self.release_table(table)
+            else:
+                while table.offset >= ps:
+                    self.release([table.pages.pop(0)])
+                    table.offset -= ps
+            return dropped
+
+        head_offsets = (np.arange(self.n_heads) * self.n_slots)[:, None]
+        if self.is_contiguous(table):
+            base = table.pages[0] * ps + table.offset if table.pages else 0
+            gidx = (head_offsets + base + indices).reshape(-1)
+        else:
+            slots = self.slot_map(table)
+            gidx = (head_offsets + slots[indices]).reshape(-1)
+
+        def taken(slab: np.ndarray | None) -> np.ndarray | None:
+            if slab is None:
+                return None
+            if slab.ndim == 2:
+                return slab.reshape(-1).take(gidx).reshape(self.n_heads, k)
+            flat = slab.reshape(self.n_heads * self.n_slots, self.d_head)
+            return flat.take(gidx, axis=0).reshape(self.n_heads, k, self.d_head)
+
+        data = [taken(self._k), taken(self._v), taken(self._pos), taken(self._k_rot)]
+        n_needed = self.pages_for(max(k, 1))
+        if self._exclusive(table):
+            # In-place compaction: keep the first pages, free the tail.
+            self.release(table.pages[n_needed:])
+            del table.pages[n_needed:]
+        else:
+            # Allocate the destination before releasing the (shared) source so
+            # a failed allocation leaves the table untouched.
+            fresh = self.alloc(n_needed)
+            self.release(table.pages)
+            table.pages = fresh
+        table.offset = 0
+        table.length = k
+        # Re-read the slab attributes only now: alloc() above may have grown
+        # the pool and rebound them — pairing slabs with the gathered data any
+        # earlier would write the compaction into orphaned arrays.
+        self._write_span(
+            table, 0, zip((self._k, self._v, self._pos, self._k_rot), data)
+        )
+        return dropped
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def token_view(self, table: PageTable, slab: np.ndarray) -> np.ndarray:
+        """Dense ``(heads, length, ...)`` of the live tokens.
+
+        Zero-copy slab view when the pages are physically contiguous (the
+        attention fast path); a page-gather copy otherwise.
+        """
+        if table.length == 0:
+            return slab[:, :0]
+        if self.is_contiguous(table):
+            start = table.pages[0] * self.page_size + table.offset
+            return slab[:, start : start + table.length]
+        # Fragmented table: assemble from per-run slice copies.  The result
+        # must be C-contiguous — NumPy's mixed slice+fancy indexing would
+        # return token-major *memory* under a (heads, length, ...) shape, and
+        # reduction kernels (einsum, softmax's pairwise sum) pick their
+        # blocking from memory layout, bit-diverging from the slab-view fast
+        # path.  Run-wise slicing is both layout-correct and a plain memcpy.
+        out = np.empty((slab.shape[0], table.length) + slab.shape[2:], dtype=slab.dtype)
+        for logical, src, span in self.token_runs(table):
+            out[:, logical : logical + span] = slab[:, src : src + span]
+        return out
+
+    def keys_view(self, table: PageTable) -> np.ndarray:
+        return self.token_view(table, self._k)
+
+    def values_view(self, table: PageTable) -> np.ndarray:
+        return self.token_view(table, self._v)
+
+    def positions_view(self, table: PageTable) -> np.ndarray:
+        return self.token_view(table, self._pos)
+
+    def rotated_view(self, table: PageTable) -> np.ndarray:
+        if self._k_rot is None:
+            raise RuntimeError("rotated-key slab disabled (rope_dims == 0)")
+        return self.token_view(table, self._k_rot)
+
+    def fill_row(
+        self,
+        table: PageTable,
+        out_k: np.ndarray,
+        out_v: np.ndarray,
+        out_pos: np.ndarray,
+        rotated: bool,
+    ) -> None:
+        """Copy one table's live tokens into padded batch buffers
+        (``out_*[:, :length]``) — the page-gather read of the batched path."""
+        if table.length == 0:
+            return
+        keys = self._k_rot if rotated else self._k
+        for logical, src, span in self.token_runs(table):
+            dst = slice(logical, logical + span)
+            out_k[:, dst] = keys[:, src : src + span]
+            out_v[:, dst] = self._v[:, src : src + span]
+            out_pos[:, dst] = self._pos[:, src : src + span]
+
+    def page_tokens_view(
+        self, pages: Sequence[int], rotated: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense ``(heads, n_pages * page_size, d)`` keys/values of full pages
+        (used by prefix sharing to hand a mapped prefix to chunked prefill)."""
+        probe = PageTable()
+        probe.pages = list(pages)
+        probe.length = len(probe.pages) * self.page_size
+        keys = self.token_view(probe, self._k_rot if rotated else self._k)
+        return keys, self.token_view(probe, self._v)
+
+
+class PagedKVStore:
+    """One :class:`BlockPool` per decoder layer plus cross-layer accounting.
+
+    This is the "one store" both cache managers are thin views over.  Layers
+    never share pages (their KV contents differ), but they share geometry and
+    — through this object — a single notion of free memory that the
+    memory-aware scheduler admits against.
+    """
+
+    def __init__(
+        self,
+        n_layers: int,
+        n_heads: int,
+        d_head: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        dtype: np.dtype | str = np.float64,
+        rope_dims: int = 0,
+        rope_table: RopeTable | None = None,
+        n_pages: int | None = None,
+        growable: bool = True,
+    ):
+        self.n_layers = n_layers
+        self.page_size = int(page_size)
+        self.growable = growable
+        self.pools = [
+            BlockPool(
+                n_heads,
+                d_head,
+                page_size=page_size,
+                n_pages=n_pages if n_pages is not None else 64,
+                dtype=dtype,
+                rope_dims=rope_dims,
+                rope_table=rope_table,
+                growable=growable,
+            )
+            for _ in range(n_layers)
+        ]
+
+    def pool(self, layer_idx: int) -> BlockPool:
+        return self.pools[layer_idx]
+
+    def attach_reclaimer(self, reclaimer: Callable[[int], int]) -> None:
+        for pool in self.pools:
+            pool.reclaimer = reclaimer
+
+    # ------------------------------------------------------------------
+    def pages_for_tokens(self, n_tokens: int) -> int:
+        return pages_needed(n_tokens, self.page_size)
+
+    @property
+    def total_pages(self) -> int:
+        return sum(pool.n_pages for pool in self.pools)
+
+    @property
+    def free_pages(self) -> int:
+        return sum(pool.free_pages for pool in self.pools)
+
+    @property
+    def used_pages(self) -> int:
+        return sum(pool.used_pages for pool in self.pools)
+
+    @property
+    def shared_pages(self) -> int:
+        return sum(pool.shared_pages for pool in self.pools)
+
+    def min_free_pages(self) -> int:
+        """Free pages in the tightest layer pool (layers evolve symmetrically,
+        so this is the admission-relevant number)."""
+        return min(pool.free_pages for pool in self.pools)
+
+    def usage(self) -> dict:
+        """Aggregate pool utilization (for demos / telemetry)."""
+        return {
+            "pages_total": self.total_pages,
+            "pages_used": self.used_pages,
+            "pages_free": self.free_pages,
+            "pages_shared": self.shared_pages,
+        }
+
+    def nbytes(self) -> int:
+        """Resident bytes of all pool slabs (keys + values + rotated keys)."""
+        total = 0
+        for pool in self.pools:
+            for slab in (pool._k, pool._v, pool._k_rot):
+                if slab is not None:
+                    total += slab.nbytes
+        return total
+
+
+class PrefixMatch:
+    """Result of a registry lookup: a mapped page-aligned prompt prefix."""
+
+    __slots__ = ("length", "pages_per_layer")
+
+    def __init__(self, length: int, pages_per_layer: list[list[int]]):
+        self.length = length
+        self.pages_per_layer = pages_per_layer
+
+
+class _PrefixChunk:
+    __slots__ = ("key", "parent", "pages_per_layer", "children", "last_used")
+
+    def __init__(self, key, parent, pages_per_layer):
+        self.key = key
+        self.parent = parent
+        self.pages_per_layer = pages_per_layer
+        self.children: set = set()
+        self.last_used = 0
+
+
+class PrefixRegistry:
+    """Content-addressed index of resident page-aligned prompt prefixes.
+
+    Chunks are keyed by a chained key ``(parent_key, chunk_token_ids)`` so a
+    chunk is only ever matched behind its exact full prefix.  Each registered
+    chunk pins one page per layer (a registry refcount); sequences that
+    evict or retire therefore never invalidate a registered prefix — the
+    copy-on-write rules in :class:`BlockPool` route their mutations to
+    private pages.  When a non-growable pool runs out, :meth:`reclaim` drops
+    the least-recently-used leaf chunks until enough pages come free.
+    """
+
+    def __init__(self, store: PagedKVStore):
+        self.store = store
+        self.page_size = store.page_size
+        self._chunks: dict[tuple, _PrefixChunk] = {}
+        self._clock = 0
+        store.attach_reclaimer(self.reclaim)
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    @staticmethod
+    def _chunk_key(parent_key, tokens: np.ndarray) -> tuple:
+        return (parent_key, tuple(int(t) for t in tokens))
+
+    # ------------------------------------------------------------------
+    def match(self, token_ids: np.ndarray, max_tokens: int | None = None) -> PrefixMatch | None:
+        """Longest registered page-aligned prefix of ``token_ids``.
+
+        ``max_tokens`` caps the usable prefix (the chunked-prefill path must
+        recompute at least the last two prompt tokens).  Returns ``None``
+        when not even one full page matches.
+        """
+        token_ids = np.asarray(token_ids).reshape(-1)
+        ps = self.page_size
+        limit = len(token_ids) if max_tokens is None else min(max_tokens, len(token_ids))
+        self._clock += 1
+        matched: list[_PrefixChunk] = []
+        parent = None
+        covered = 0
+        while covered + ps <= limit:
+            key = self._chunk_key(parent, token_ids[covered : covered + ps])
+            chunk = self._chunks.get(key)
+            if chunk is None:
+                break
+            chunk.last_used = self._clock
+            matched.append(chunk)
+            parent = key
+            covered += ps
+        if not matched:
+            return None
+        pages_per_layer = [
+            [chunk.pages_per_layer[layer] for chunk in matched]
+            for layer in range(self.store.n_layers)
+        ]
+        return PrefixMatch(covered, pages_per_layer)
+
+    def register(self, token_ids: np.ndarray, tables: Sequence[PageTable]) -> int:
+        """Register every full-page chunk of a freshly seeded prompt.
+
+        ``tables`` holds the sequence's per-layer page tables right after
+        seeding (offset 0, pristine prompt content).  Already-known chunks
+        are refreshed; new ones pin their page in every layer.  Returns the
+        number of newly registered chunks.
+        """
+        token_ids = np.asarray(token_ids).reshape(-1)
+        ps = self.page_size
+        n_full = len(token_ids) // ps
+        self._clock += 1
+        parent = None
+        added = 0
+        for i in range(n_full):
+            key = self._chunk_key(parent, token_ids[i * ps : (i + 1) * ps])
+            chunk = self._chunks.get(key)
+            if chunk is None:
+                pages = [tables[layer].pages[i] for layer in range(self.store.n_layers)]
+                for layer, page in enumerate(pages):
+                    self.store.pools[layer].retain([page])
+                chunk = _PrefixChunk(key, parent, pages)
+                self._chunks[key] = chunk
+                if parent is not None:
+                    self._chunks[parent].children.add(key)
+                added += 1
+            chunk.last_used = self._clock
+            parent = key
+        return added
+
+    # ------------------------------------------------------------------
+    def _freeable(self, chunk: _PrefixChunk) -> bool:
+        """Dropping this chunk returns its page to every layer's free list
+        (no live sequence maps it — the registry holds the only reference)."""
+        return all(
+            self.store.pools[layer].refcounts[page] == 1
+            for layer, page in enumerate(chunk.pages_per_layer)
+        )
+
+    def reclaimable_pages(self) -> int:
+        """Pages per layer that :meth:`reclaim` could free right now.
+
+        Counts only chunks no live sequence maps — dropping a chunk whose
+        page is also held by a running row releases the registry pin but
+        frees no memory, so it must not count toward admission headroom.
+        """
+        return sum(1 for chunk in self._chunks.values() if self._freeable(chunk))
+
+    def reclaim(self, n_pages: int) -> int:
+        """Drop least-recently-used leaf chunks until ``n_pages`` pages per
+        layer came free (or nothing freeable remains).  Returns the number of
+        pages freed per layer.
+
+        Freeable leaves go first; when none exist, an unfreeable leaf is
+        dropped only if that unblocks a freeable ancestor — chunks that can
+        free nothing (their pages are mapped by live rows) are never wasted.
+        """
+        freed = 0
+        while freed < n_pages and self._chunks:
+            leaves = [c for c in self._chunks.values() if not c.children]
+            freeable = [c for c in leaves if self._freeable(c)]
+            if freeable:
+                victim = min(freeable, key=lambda c: c.last_used)
+                freed += 1
+            else:
+                blocking = [c for c in leaves if self._has_freeable_ancestor(c)]
+                if not blocking:
+                    break
+                victim = min(blocking, key=lambda c: c.last_used)
+            self._drop(victim)
+        return freed
+
+    def _has_freeable_ancestor(self, chunk: _PrefixChunk) -> bool:
+        key = chunk.parent
+        while key is not None:
+            parent = self._chunks.get(key)
+            if parent is None:
+                break
+            if self._freeable(parent):
+                return True
+            key = parent.parent
+        return False
+
+    def _drop(self, chunk: _PrefixChunk) -> None:
+        for layer, page in enumerate(chunk.pages_per_layer):
+            self.store.pools[layer].release([page])
+        if chunk.parent is not None and chunk.parent in self._chunks:
+            self._chunks[chunk.parent].children.discard(chunk.key)
+        del self._chunks[chunk.key]
+
+    def clear(self) -> None:
+        for chunk in list(self._chunks.values()):
+            if not chunk.children:
+                self._drop(chunk)
+        if self._chunks:
+            self.clear()

@@ -173,6 +173,77 @@ class MultiHeadAttention(Module):
         return dx_q + dx_k + dx_v
 
     # ------------------------------------------------------------------
+    # chunked prefill path (prefix sharing)
+    # ------------------------------------------------------------------
+    def attend_prefill(
+        self,
+        x: np.ndarray,
+        prefix_keys: np.ndarray,
+        prefix_values: np.ndarray,
+        prefix_len: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Prompt-phase attention for a *suffix chunk* over a cached prefix.
+
+        The serving engine's prefix sharing maps the KV pages of an
+        already-resident prompt prefix instead of recomputing them; only the
+        suffix tokens run through the model.  This step attends the suffix
+        queries over ``[prefix ∥ suffix]`` keys/values:
+
+        * ``x`` — suffix hidden states, shape ``(1, S, d_model)``, sitting at
+          original positions ``prefix_len .. prefix_len + S``;
+        * ``prefix_keys`` — cached prefix keys of shape ``(1, H, P, d)``,
+          already RoPE-rotated at their original positions for RoPE models
+          (read straight from the rotated-key pages), raw otherwise;
+        * ``prefix_values`` — cached prefix values, same shape.
+
+        Bit-exactness contract: every operation reproduces the corresponding
+        rows of the full prompt forward exactly — the projections are
+        ``(S, d_model)`` GEMMs whose rows are bit-stable under removing
+        leading rows (pinned by the prefix-sharing tests; requires ``S >= 2``,
+        which the engine guarantees by capping the shared prefix at
+        ``prompt_len - 2``), scores/context einsums reduce over axes of
+        identical extent, and softmax runs over full-length rows with the
+        same causal ``-inf`` tail the full forward produces.
+
+        Returns ``(output, k_raw, v)`` where ``output`` is ``(1, S, d_model)``
+        and ``k_raw``/``v`` are the suffix's unrotated keys and values
+        (``(1, H, S, d)``) for seeding the cache.
+        """
+        b, s, _ = x.shape
+        total_len = prefix_len + s
+        positions = np.arange(prefix_len, total_len)
+
+        q = self._split_heads(self.w_q(x))
+        k_raw = self._split_heads(self.w_k(x))
+        v = self._split_heads(self.w_v(x))
+
+        if self.positional == "rope":
+            q_rot = rope_rotate(q, positions, self.rope_dims, table=self._rope_table)
+            k_rot = rope_rotate(k_raw, positions, self.rope_dims, table=self._rope_table)
+            keys_all = np.concatenate([prefix_keys, k_rot], axis=2)
+        else:
+            q_rot = q
+            keys_all = np.concatenate([prefix_keys, k_raw], axis=2)
+        values_all = np.concatenate([prefix_values, v], axis=2)
+
+        scale = 1.0 / np.sqrt(self.d_head)
+        scores = np.einsum("bhqd,bhkd->bhqk", q_rot, keys_all) * scale
+        if self.positional == "alibi":
+            scores = scores + alibi_bias_matrix(self.n_heads, total_len)[None][
+                :, :, prefix_len:, :
+            ]
+        # Same mask rows the full forward applies to queries prefix_len..T.
+        causal_mask = (
+            np.arange(total_len)[None, :] > positions[:, None]
+        )
+        scores = np.where(causal_mask[None, None], -np.inf, scores)
+
+        attn = ops.softmax(scores, axis=-1)
+        ctx = np.einsum("bhqk,bhkd->bhqd", attn, values_all)
+        out = self.w_o(self._merge_heads(ctx))
+        return out, k_raw, v
+
+    # ------------------------------------------------------------------
     # incremental decode path
     # ------------------------------------------------------------------
     def project_qkv(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

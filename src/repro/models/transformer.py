@@ -88,7 +88,19 @@ class DecoderLM(Module):
         """Project hidden states to vocabulary logits."""
         if self.lm_head is not None:
             return self.lm_head(hidden)
-        return hidden @ self.token_embedding.params["weight"].T
+        weight = self.token_embedding.params["weight"]
+        if hidden.ndim == 3:
+            # Sequence path (prompt forward / chunked prefill): BLAS GEMM
+            # rows over a *contiguous* B are bit-stable when leading rows are
+            # removed, while the transposed view hits a strided small-M
+            # kernel whose reduction order depends on the row count — which
+            # would break the prefix-sharing invariant that a suffix chunk
+            # reproduces the full forward's rows exactly.  The contiguous
+            # copy is bit-identical to the view at any full-sequence length
+            # (pinned by the golden tests) and is rebuilt per call so
+            # in-place weight updates during training are always seen.
+            return hidden @ np.ascontiguousarray(weight.T)
+        return hidden @ weight.T
 
     # ------------------------------------------------------------------
     # training / prompt processing path
@@ -168,6 +180,50 @@ class DecoderLM(Module):
         loss, dlogits = self.loss(token_ids, targets, ignore_index=ignore_index)
         self.backward(dlogits)
         return loss
+
+    # ------------------------------------------------------------------
+    # chunked prefill path (prefix sharing)
+    # ------------------------------------------------------------------
+    def forward_suffix(
+        self,
+        suffix_ids: np.ndarray,
+        prefix_kv: Sequence[tuple[np.ndarray, np.ndarray]],
+        prefix_len: int,
+    ) -> tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
+        """Prompt forward for a suffix chunk over cached prefix KV.
+
+        ``suffix_ids`` has shape ``(1, S)`` with ``S >= 2`` (the bit-stability
+        floor of the chunked projections); ``prefix_kv`` holds one
+        ``(keys_for_attention, values)`` pair per layer, shape ``(1, H, P, d)``
+        (keys RoPE-rotated at original positions for RoPE models, raw
+        otherwise).  Returns the suffix logits ``(1, S, vocab)`` — bit-equal
+        to the corresponding rows of :meth:`forward` on the full prompt —
+        and the per-layer ``(k_raw, v)`` suffix tensors that seed the cache.
+
+        Attention maps are *not* stored: the engine only takes this path for
+        eviction policies that never read prompt attention values.
+        """
+        suffix_ids = np.asarray(suffix_ids)
+        if suffix_ids.ndim == 1:
+            suffix_ids = suffix_ids[None, :]
+        s = suffix_ids.shape[1]
+        if s < 2:
+            raise ValueError(
+                f"chunked prefill needs a suffix of >= 2 tokens, got {s} "
+                "(cap the shared prefix at prompt_len - 2)"
+            )
+        if len(prefix_kv) != len(self.blocks):
+            raise ValueError(
+                f"expected {len(self.blocks)} layers of prefix KV, got {len(prefix_kv)}"
+            )
+        positions = np.arange(prefix_len, prefix_len + s)
+        h = self.embed(suffix_ids, positions=positions)
+        suffix_kv: list[tuple[np.ndarray, np.ndarray]] = []
+        for block, (prefix_keys, prefix_values) in zip(self.blocks, prefix_kv):
+            h, k_raw, v = block.prefill_chunk(h, prefix_keys, prefix_values, prefix_len)
+            suffix_kv.append((k_raw, v))
+        h = self.ln_final(h)
+        return self.lm_logits(h), suffix_kv
 
     # ------------------------------------------------------------------
     # incremental decode path

@@ -1,8 +1,20 @@
-"""Model and KV-cache memory accounting for the performance model."""
+"""Model and KV-cache memory accounting for the performance model.
+
+Besides the contiguous worst-case model, :class:`MemoryModel` accounts for
+**paged** KV storage (fixed-size pages, as implemented in
+:mod:`repro.kvcache.paged`): per-sequence memory rounds up to whole pages
+(bounded internal fragmentation of at most ``page_size - 1`` tokens per
+sequence) while reservation-based fragmentation — the worst-case
+``prompt + max_new_tokens`` slabs the pre-paged engine had to hold — is
+eliminated entirely.  ``measured_kv_bytes`` reads the resident size straight
+from live caches via ``LayerKVCache.nbytes`` instead of re-deriving it from a
+parallel formula.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 __all__ = ["PerfModelSpec", "MemoryModel", "MPT_7B", "GPT_J_6B", "CEREBRAS_GPT_6_7B"]
 
@@ -69,6 +81,55 @@ class MemoryModel:
     def activation_bytes(self, batch_size: int, seq_len: int) -> float:
         """Rough activation working-set during decode (a few residual streams)."""
         return 8 * batch_size * seq_len * self.spec.d_model * self.spec.dtype_bytes
+
+    # ------------------------------------------------------------------
+    # paged storage
+    # ------------------------------------------------------------------
+    def kv_pages(self, seq_len: int, page_size: int) -> int:
+        """Pages (per layer) holding ``seq_len`` cached tokens."""
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        return -(-int(seq_len) // page_size)
+
+    def kv_page_bytes(self, page_size: int) -> float:
+        """Bytes of one KV page across all layers (keys + values)."""
+        return self.kv_bytes_per_token() * page_size
+
+    def paged_kv_cache_bytes(
+        self, seq_len: int, batch_size: int = 1, page_size: int = 16
+    ) -> float:
+        """Resident KV bytes under paged storage: whole pages per sequence.
+
+        The gap to :meth:`kv_cache_bytes` at the same ``seq_len`` is the
+        internal fragmentation (< one page per sequence); the gap to the
+        worst-case reservation ``kv_cache_bytes(prompt + max_new)`` is what
+        paging reclaims for additional concurrent sequences.
+        """
+        return (
+            self.kv_pages(seq_len, page_size) * self.kv_page_bytes(page_size) * batch_size
+        )
+
+    def paged_max_concurrency(
+        self,
+        hbm_capacity_bytes: float,
+        seq_len: int,
+        page_size: int = 16,
+        watermark: float = 0.1,
+    ) -> int:
+        """Concurrent sequences of resident length ``seq_len`` a paged pool
+        sized to the free HBM (after weights, below the watermark) can hold."""
+        budget = (hbm_capacity_bytes - self.model_bytes()) * (1.0 - watermark)
+        per_seq = self.paged_kv_cache_bytes(seq_len, 1, page_size)
+        if budget <= 0 or per_seq <= 0:
+            return 0
+        return int(budget // per_seq)
+
+    @staticmethod
+    def measured_kv_bytes(caches: Iterable, dtype_bytes: int | None = None) -> int:
+        """Resident KV bytes of live per-layer caches, summed via each cache's
+        own ``nbytes`` (which defaults to the actual storage dtype) — the
+        measured counterpart of the analytical formulas above."""
+        return sum(cache.nbytes(dtype_bytes) for cache in caches)
 
     # ------------------------------------------------------------------
     def kv_working_multiplier(self, beam_size: int = 1) -> float:

@@ -1,17 +1,20 @@
-"""Continuous-batching serving: request model, FCFS scheduler, batched engine.
+"""Continuous-batching serving: request model, schedulers, batched engine.
 
-See ``docs/serving.md`` for the request lifecycle, scheduler budgets and the
-batching bit-exactness invariants.
+Requests decode together over the paged KV store with prefix sharing and
+memory-aware (page-granular) admission; see ``docs/serving.md`` for the
+request lifecycle, scheduler budgets, preemption and the batching
+bit-exactness invariants, and ``docs/kvcache.md`` for the storage layer.
 """
 
 from repro.serving.engine import BatchedGenerator, ContinuousBatchingEngine
 from repro.serving.request import FinishReason, Request, RequestState, RequestStatus
-from repro.serving.scheduler import FCFSScheduler
+from repro.serving.scheduler import FCFSScheduler, PagedScheduler
 
 __all__ = [
     "BatchedGenerator",
     "ContinuousBatchingEngine",
     "FCFSScheduler",
+    "PagedScheduler",
     "Request",
     "RequestState",
     "RequestStatus",

@@ -1,4 +1,4 @@
-"""Continuous-batching serving engine over the batched slab KV-cache.
+"""Continuous-batching serving engine over the paged KV-cache store.
 
 The engine runs many generation requests concurrently by executing **one
 batched forward pass per decoding step** over a ragged batch of sequences,
@@ -9,27 +9,38 @@ serving systems, built here on the repo's NumPy substrate.
 Execution model
 ---------------
 * **Prefill** — an admitted request's prompt runs through the ordinary
-  full-sequence forward pass (identical to ``Generator._prompt_forward``),
-  its KV tensors join a row of the shared :class:`BatchedCacheManager`, and
-  its eviction policy performs the prompt-phase reduction.
+  full-sequence forward pass, its KV tensors are written into pages of the
+  shared :class:`BatchedCacheManager` store, and its eviction policy performs
+  the prompt-phase reduction.  When **prefix sharing** is enabled and the
+  prompt starts with a page-aligned chunk chain already resident in the
+  :class:`~repro.kvcache.paged.PrefixRegistry`, the engine *maps* those pages
+  (a refcount bump) and runs only the prompt suffix through
+  :meth:`DecoderLM.forward_suffix` — prefill compute drops from O(T²) to
+  O(S·T) for a prompt of length T sharing all but S tokens.
 * **Decode** — every engine step advances all running requests by one token
   through :meth:`DecoderLM.decode_step_batch`: dense layers run batched over
   the ``(R, d_model)`` hidden rows while attention is ragged (each sequence
-  attends over its own cache row, padded to the batch maximum).
-* **Scheduling** — a :class:`FCFSScheduler` admits requests under a
-  batch-size and a total-token budget; retirement frees the row (and its
-  budget) for the next queued request.
+  attends over its own page table, padded to the batch maximum).
+* **Scheduling** — a :class:`PagedScheduler` admits requests against the
+  pool's *actual free pages* (with a watermark of headroom) instead of
+  worst-case token budgets.  When a fixed-size pool runs dry mid-decode the
+  engine **preempts** the newest-admitted running request: its pages are
+  freed, its state reset, and it re-enters the head of the queue to be
+  re-prefilled later — FCFS completion order is preserved because older
+  requests are never the victim.
 
 Bit-exactness invariant
 -----------------------
 At float64 every request's output — token sequence, log-probabilities and
 cache statistics — is **bit-identical** to running that request alone through
 ``Generator.generate``.  This holds because every shared computation is
-row-independent (embeddings, layer norms, activations, softmax over exact
-lengths, per-row BLAS projections) and all cross-request state (eviction
-policies, score accumulators, sampler RNGs, KV rows) is kept per request.
-Consequently batch composition, admission order and retirement timing can
-never change what any request generates — the scheduler only affects *when*.
+row-independent, all cross-request state (eviction policies, score
+accumulators, sampler RNGs, KV pages) is kept per request, mapped prefix
+pages hold exactly the bits a full prompt forward would recompute (and
+copy-on-write shields them from neighbours), and a preempted request restarts
+from scratch with freshly reset policy and sampler state.  Consequently batch
+composition, admission order, prefix sharing, preemption and retirement
+timing can never change *what* any request generates — only *when*.
 At float32 the engine switches to fully batched BLAS projections and masked
 padded attention (the documented inference tolerance mode) for throughput.
 """
@@ -44,12 +55,13 @@ from repro.core.policies import EvictionPolicy, FullAttentionPolicy
 from repro.generation.generator import GenerationResult, Generator
 from repro.generation.sampler import Sampler, make_sampler, sample_rows
 from repro.kvcache.batch import BatchedCacheManager
+from repro.kvcache.paged import DEFAULT_PAGE_SIZE, PoolExhausted, PrefixMatch
 from repro.kvcache.stats import CacheStats
 from repro.models.config import GenerationConfig
 from repro.models.tensor_ops import log_softmax
 from repro.models.transformer import DecoderLM
 from repro.serving.request import FinishReason, Request, RequestState, RequestStatus
-from repro.serving.scheduler import FCFSScheduler
+from repro.serving.scheduler import FCFSScheduler, PagedScheduler
 
 __all__ = ["ContinuousBatchingEngine", "BatchedGenerator"]
 
@@ -70,8 +82,21 @@ class ContinuousBatchingEngine:
         first admitted request's policy.  All requests in one engine must
         agree — the batched attention step applies one mode.
     scheduler:
-        Admission scheduler; defaults to an :class:`FCFSScheduler` built from
+        Admission scheduler; defaults to a :class:`PagedScheduler` built from
         ``max_batch_size``/``max_total_tokens``.
+    page_size:
+        Tokens per KV page of the paged store.
+    max_pool_tokens:
+        When set, fixes every layer pool at ``ceil(max_pool_tokens /
+        page_size)`` pages: admission becomes memory-aware and running out of
+        pages triggers preemption.  ``None`` (default) keeps the pools
+        growable — the engine never preempts and behaves like an unbounded
+        store.
+    enable_prefix_sharing:
+        Map resident prompt-prefix pages instead of recomputing them.
+        Automatically skipped per request for policies that consume prompt
+        attention values (Keyformer, H2O); bit-exactness is unaffected either
+        way.
     """
 
     def __init__(
@@ -82,11 +107,17 @@ class ContinuousBatchingEngine:
         scheduler: FCFSScheduler | None = None,
         max_batch_size: int = 8,
         max_total_tokens: int | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        max_pool_tokens: int | None = None,
+        enable_prefix_sharing: bool = True,
     ):
         self.model = model
         self.policy_factory = policy_factory or FullAttentionPolicy
         self.positional_mode = positional_mode
-        self.scheduler = scheduler or FCFSScheduler(max_batch_size, max_total_tokens)
+        self.scheduler = scheduler or PagedScheduler(max_batch_size, max_total_tokens)
+        self.page_size = int(page_size)
+        self.max_pool_tokens = max_pool_tokens
+        self.enable_prefix_sharing = enable_prefix_sharing
         self._manager: BatchedCacheManager | None = None
         self._layer_views: list | None = None
         #: Running requests, index == KV-cache row (persistent batch).
@@ -95,6 +126,13 @@ class ContinuousBatchingEngine:
         self._next_logits: np.ndarray | None = None
         self._finished: list[RequestState] = []
         self._next_id = 0
+        self._admit_seq = 0
+        #: Prompt tokens submitted for prefill vs actually run through the
+        #: model — the gap is the prefix-sharing saving.
+        self.prefill_prompt_tokens = 0
+        self.prefill_computed_tokens = 0
+        #: Preemptions performed (requests bumped back to the queue).
+        self.n_preemptions = 0
 
     # ------------------------------------------------------------------
     # submission
@@ -109,15 +147,54 @@ class ContinuousBatchingEngine:
         """Queue one request; returns its state handle (results after finish)."""
         config = config or GenerationConfig()
         request = Request.from_config(self._next_id, prompt_ids, config)
+        if (
+            self.max_pool_tokens is not None
+            and request.token_budget + self.page_size > self.max_pool_tokens
+        ):
+            # A lone request must be able to grow to its worst case (plus one
+            # page of slack) inside the fixed pool, or it could exhaust the
+            # pool mid-decode with nothing left to preempt.
+            raise ValueError(
+                f"request needs up to {request.token_budget} tokens but the "
+                f"fixed pool holds only {self.max_pool_tokens} — raise "
+                "max_pool_tokens or shorten prompt/max_new_tokens"
+            )
         self._next_id += 1
+        sampler_factory = None
+        if sampler is None:
+            sampler_factory = lambda: make_sampler(
+                config.temperature, config.top_k, config.seed
+            )
+            sampler = sampler_factory()
         state = RequestState(
             request=request,
-            sampler=sampler
-            or make_sampler(config.temperature, config.top_k, config.seed),
+            sampler=sampler,
             policy=policy or self.policy_factory(),
+            sampler_factory=sampler_factory,
         )
         self.scheduler.submit(state)
         return state
+
+    def abort(self, request_id: int) -> bool:
+        """Cancel a request wherever it currently lives.
+
+        A queued request leaves the scheduler; a running one retires
+        immediately with its pages freed.  Either way it finishes with
+        :attr:`FinishReason.ABORTED` and an empty/partial token list.
+        Returns ``False`` when the id is unknown or already finished.
+        """
+        state = self.scheduler.cancel(request_id)
+        if state is not None:
+            state.status = RequestStatus.FINISHED
+            state.finish_reason = FinishReason.ABORTED
+            state.cache_stats = CacheStats()
+            self._finished.append(state)
+            return True
+        for row, running in enumerate(self._states):
+            if running.request_id == request_id:
+                self._retire(row, FinishReason.ABORTED)
+                return True
+        return False
 
     @property
     def n_running(self) -> int:
@@ -131,6 +208,23 @@ class ContinuousBatchingEngine:
     def has_work(self) -> bool:
         return bool(self._states) or bool(len(self.scheduler))
 
+    def pool_usage(self) -> dict:
+        """Current page-pool utilization (empty before the first prefill)."""
+        if self._manager is None:
+            return {}
+        return self._manager.pool_usage()
+
+    @property
+    def prefill_savings(self) -> float:
+        """Prompt tokens submitted / prompt tokens actually computed.
+
+        1.0 without sharing; e.g. 3.0 means two thirds of all prompt tokens
+        were served from mapped pages instead of being recomputed.
+        """
+        if self.prefill_computed_tokens == 0:
+            return 1.0
+        return self.prefill_prompt_tokens / self.prefill_computed_tokens
+
     # ------------------------------------------------------------------
     # engine loop
     # ------------------------------------------------------------------
@@ -140,18 +234,51 @@ class ContinuousBatchingEngine:
         Order of operations (the continuous-batching contract): record the
         previous step's sampled tokens and retire finished requests, admit
         queued requests into the freed capacity (prefill + first token),
-        then run one batched decode step for everything still running.
-        Returns the requests that finished during this step.
+        then run one batched decode step for everything still running —
+        preempting back to the queue first if the page pool cannot fund the
+        step's appends.  Returns the requests that finished during this step.
         """
         n_done = len(self._finished)
         self._record_rows(range(len(self._states)))
+        if self._manager is None and len(self.scheduler):
+            # Build the store before the first admission so memory-aware
+            # admission sees real page counts from the very first request.
+            self._build_manager(self.scheduler.pending[0].policy)
         tokens_in_flight = sum(st.request.token_budget for st in self._states)
-        admitted = self.scheduler.admit(len(self._states), tokens_in_flight)
-        for state in admitted:
-            self._prefill(state)
-        if admitted:
-            first_new = len(self._states) - len(admitted)
-            self._record_rows(range(first_new, len(self._states)))
+        admitted = self.scheduler.admit(
+            len(self._states),
+            tokens_in_flight,
+            store=self._manager.store if self._manager is not None else None,
+            registry=self._manager.registry if self._manager is not None else None,
+        )
+        joined: list[RequestState] = []
+        for i, state in enumerate(admitted):
+            if self._prefill(state):
+                joined.append(state)
+                continue
+            # The join ran out of pages (a victim was preempted).  Requeue
+            # this request and every younger admission behind it, in order —
+            # letting the younger ones jump in now would break the
+            # head-of-line FCFS contract.
+            self.scheduler.requeue_many(admitted[i:])
+            break
+        if not self._states and not joined and len(self.scheduler):
+            # Nothing running, nothing admitted, queue non-empty: the pool is
+            # as free as it will ever get, so the head request can never fit.
+            head = self.scheduler.pending[0]
+            raise PoolExhausted(
+                f"request {head.request_id} (prompt {head.request.prompt_len} "
+                f"tokens) cannot be admitted even into an idle pool — raise "
+                "max_pool_tokens or lower the scheduler watermark"
+            )
+        if joined:
+            # Identify rows by state (a failed admission may have preempted
+            # and therefore moved rows): record each joined request's first
+            # sampled token.
+            members = set(map(id, joined))
+            self._record_rows(
+                [row for row, st in enumerate(self._states) if id(st) in members]
+            )
         self._decode()
         return self._finished[n_done:]
 
@@ -166,18 +293,16 @@ class ContinuousBatchingEngine:
     # ------------------------------------------------------------------
     # phases
     # ------------------------------------------------------------------
-    def _prefill(self, state: RequestState) -> None:
-        """Prompt phase for one admitted request (identical math to
-        ``Generator._prompt_forward``) + row join + first-token sampling."""
-        logits = self.model.forward(state.request.prompt_ids, store_attention=True)
-        prompt_kv, prompt_attn, prompt_scores = [], [], []
-        for block in self.model.blocks:
-            if block.attn.last_kv is None or block.attn.last_scores is None:
-                raise RuntimeError("prompt forward did not store attention tensors")
-            prompt_kv.append(block.attn.last_kv)
-            prompt_attn.append(block.attn.last_attention)
-            prompt_scores.append(block.attn.last_scores)
+    def _prefill(self, state: RequestState) -> bool:
+        """Prompt phase for one admitted request + row join + first-token
+        sampling.  Returns ``False`` when the pool could not fund the join
+        (a victim was preempted; the caller requeues the request).
 
+        Runs the full prompt forward (identical math to
+        ``Generator._prompt_forward``) unless a registered prefix of the
+        prompt is resident, in which case only the suffix runs through
+        :meth:`DecoderLM.forward_suffix` — bit-identical either way.
+        """
         if self._manager is None:
             self._build_manager(state.policy)
         mode = self.positional_mode or state.policy.config.positional_mode
@@ -187,23 +312,104 @@ class ContinuousBatchingEngine:
                 f"batch runs in {self._manager.positional_mode!r} — one engine "
                 "serves one positional mode"
             )
-        row = self._manager.join(
-            prompt_kv,
-            prompt_attn,
-            prompt_scores,
-            state.request.max_new_tokens,
-            state.policy,
-        )
+
+        prompt = state.request.prompt_ids
+        prompt_len = state.request.prompt_len
+        match = None
+        if self.enable_prefix_sharing and not state.policy.needs_prompt_attention:
+            # The chunked projections are only row-stable for suffixes of two
+            # or more tokens, so always recompute at least the last two.
+            match = self._manager.registry.match(prompt[0], max_tokens=prompt_len - 2)
+
+        try:
+            if match is not None:
+                row, next_row = self._prefill_shared(state, match)
+                computed = prompt_len - match.length
+            else:
+                row, next_row = self._prefill_full(state)
+                computed = prompt_len
+        except PoolExhausted:
+            # The watermark under-estimated (e.g. concurrent COW growth).
+            # Free pages by preempting the newest running request; the caller
+            # requeues this request (and any younger admissions) so the next
+            # step retries in arrival order.
+            if not self._states:
+                raise  # nothing to preempt — the pool simply cannot fit it
+            self._preempt_newest()
+            return False
+        self.prefill_prompt_tokens += prompt_len
+        self.prefill_computed_tokens += computed
         assert row == len(self._states), "engine rows out of sync with cache rows"
 
-        next_row = logits[:, -1, :]
         if self._next_logits is None or not self._states:
             self._next_logits = next_row
         else:
             self._next_logits = np.concatenate([self._next_logits, next_row])
         self._states.append(state)
         state.status = RequestStatus.RUNNING
+        state.admitted_seq = self._admit_seq
+        self._admit_seq += 1
         state.pending_token = int(state.sampler(next_row)[0])
+        return True
+
+    def _prefill_full(self, state: RequestState) -> tuple[int, np.ndarray]:
+        """Whole-prompt forward pass; registers the prompt for future sharing."""
+        logits = self.model.forward(state.request.prompt_ids, store_attention=True)
+        prompt_kv, prompt_attn, prompt_scores = [], [], []
+        for block in self.model.blocks:
+            if block.attn.last_kv is None or block.attn.last_scores is None:
+                raise RuntimeError("prompt forward did not store attention tensors")
+            prompt_kv.append(block.attn.last_kv)
+            prompt_attn.append(block.attn.last_attention)
+            prompt_scores.append(block.attn.last_scores)
+        row = self._manager.join(
+            prompt_kv,
+            prompt_attn,
+            prompt_scores,
+            state.request.max_new_tokens,
+            state.policy,
+            prompt_token_ids=self._register_ids(state),
+        )
+        return row, logits[:, -1, :]
+
+    def _prefill_shared(
+        self, state: RequestState, match: PrefixMatch
+    ) -> tuple[int, np.ndarray]:
+        """Chunked prefill over mapped prefix pages (the prefix-sharing path).
+
+        The policy's prompt-phase hook receives zero-strided dummy attention
+        tensors: this path is only taken for policies that never read prompt
+        attention *values* (``needs_prompt_attention`` is False), and their
+        selections depend on shapes alone — so eviction behaviour is
+        bit-identical to the full-prefill path.
+        """
+        prompt = state.request.prompt_ids
+        prompt_len = state.request.prompt_len
+        prefix_kv = self._manager.prefix_tensors(match)
+        logits, suffix_kv = self.model.forward_suffix(
+            prompt[:, match.length :], prefix_kv, match.length
+        )
+        h = self.model.config.n_heads
+        dummy = np.broadcast_to(
+            np.zeros(1, dtype=self.model.config.np_dtype),
+            (1, h, prompt_len, prompt_len),
+        )
+        row = self._manager.join(
+            suffix_kv,
+            [dummy] * self._manager.n_layers,
+            [dummy] * self._manager.n_layers,
+            state.request.max_new_tokens,
+            state.policy,
+            shared_prefix=match,
+            prompt_token_ids=self._register_ids(state),
+        )
+        return row, logits[:, -1, :]
+
+    def _register_ids(self, state: RequestState) -> np.ndarray | None:
+        """Prompt ids to register in the prefix registry (None disables)."""
+        if not self.enable_prefix_sharing:
+            return None
+        return state.request.prompt_ids[0]
 
     def _record_rows(self, rows) -> None:
         """Record each row's pending token (the previous sample), accumulate
@@ -234,6 +440,17 @@ class ContinuousBatchingEngine:
         for row, reason in sorted(finishing, reverse=True):
             self._retire(row, reason)
 
+    def _drop_row(self, row: int) -> RequestState:
+        """Remove ``row`` from the running set (persistent-batch move)."""
+        state = self._states[row]
+        last = len(self._states) - 1
+        if row != last:
+            self._states[row] = self._states[last]
+            self._next_logits[row] = self._next_logits[last]
+        self._states.pop()
+        self._next_logits = self._next_logits[:last]
+        return state
+
     def _retire(self, row: int, reason: FinishReason) -> None:
         state = self._states[row]
         state.finish_reason = reason
@@ -241,18 +458,39 @@ class ContinuousBatchingEngine:
         state.pending_token = None
         state.n_steps = self._manager.generation_step[row]
         state.cache_stats = self._manager.retire(row)
-        last = len(self._states) - 1
-        if row != last:
-            self._states[row] = self._states[last]
-            self._next_logits[row] = self._next_logits[last]
-        self._states.pop()
-        self._next_logits = self._next_logits[:last]
+        self._drop_row(row)
         self._finished.append(state)
+
+    def _preempt_newest(self) -> None:
+        """Bump the newest-admitted running request back to the queue.
+
+        Its pages return to the pool immediately; on re-admission it
+        re-prefills and regenerates from scratch (deterministically, so the
+        final output is unchanged).  Preempting newest-first keeps FCFS
+        completion semantics: an older request is never sacrificed for a
+        younger one.
+        """
+        row = max(
+            range(len(self._states)), key=lambda r: self._states[r].admitted_seq
+        )
+        self._manager.release_row(row)
+        state = self._drop_row(row)
+        state.reset_for_requeue()
+        self.scheduler.requeue(state)
+        self.n_preemptions += 1
+
+    def _ensure_decode_capacity(self) -> None:
+        """Preempt until the page pools can fund this step's appends."""
+        if self._manager is None or self._manager.store.growable:
+            return
+        while len(self._states) > 1 and self._manager.append_pages_shortfall() > 0:
+            self._preempt_newest()
 
     def _decode(self) -> None:
         """One batched decode step + per-request sampling of the next token."""
         if not self._states:
             return
+        self._ensure_decode_capacity()
         tokens = np.asarray([st.pending_token for st in self._states], dtype=np.int64)
         positions = self._manager.query_positions()
         self._next_logits = self.model.decode_step_batch(
@@ -274,6 +512,8 @@ class ContinuousBatchingEngine:
             positional_mode=mode,
             dtype=config.np_dtype,
             rope_dims=config.rope_dims if config.positional == "rope" else 0,
+            page_size=self.page_size,
+            max_pool_tokens=self.max_pool_tokens,
         )
         self._layer_views = self._manager.layer_views()
 
@@ -329,12 +569,18 @@ class BatchedGenerator:
         positional_mode: str | None = None,
         max_batch_size: int = 8,
         max_total_tokens: int | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        max_pool_tokens: int | None = None,
+        enable_prefix_sharing: bool = True,
     ):
         self.model = model
         self.policy_factory = policy_factory or FullAttentionPolicy
         self.positional_mode = positional_mode
         self.max_batch_size = max_batch_size
         self.max_total_tokens = max_total_tokens
+        self.page_size = page_size
+        self.max_pool_tokens = max_pool_tokens
+        self.enable_prefix_sharing = enable_prefix_sharing
 
     def _engine(self) -> ContinuousBatchingEngine:
         return ContinuousBatchingEngine(
@@ -343,6 +589,9 @@ class BatchedGenerator:
             positional_mode=self.positional_mode,
             max_batch_size=self.max_batch_size,
             max_total_tokens=self.max_total_tokens,
+            page_size=self.page_size,
+            max_pool_tokens=self.max_pool_tokens,
+            enable_prefix_sharing=self.enable_prefix_sharing,
         )
 
     # ------------------------------------------------------------------

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -41,6 +41,7 @@ class FinishReason(enum.Enum):
 
     EOS = "eos"  # sampled the end-of-sequence token
     LENGTH = "length"  # reached max_new_tokens
+    ABORTED = "aborted"  # cancelled by the client before finishing
 
 
 @dataclass(frozen=True)
@@ -107,6 +108,16 @@ class RequestState:
     finish_reason: FinishReason | None = None
     cache_stats: "CacheStats | None" = None
     n_steps: int = 0
+    #: Rebuilds a bit-identical fresh sampler after preemption (set by the
+    #: engine when it constructed the sampler itself; a caller-supplied
+    #: sampler instance is reused as-is and must be stateless to be safely
+    #: preemptible).
+    sampler_factory: "Callable[[], Sampler] | None" = None
+    #: Times this request was preempted back to the queue (pages reclaimed).
+    preemptions: int = 0
+    #: Engine-internal admission sequence number (newest admitted is the
+    #: preemption victim, preserving FCFS completion order).
+    admitted_seq: int = -1
 
     @property
     def request_id(self) -> int:
@@ -115,6 +126,26 @@ class RequestState:
     @property
     def finished(self) -> bool:
         return self.status is RequestStatus.FINISHED
+
+    def reset_for_requeue(self) -> None:
+        """Return to the queued state after preemption.
+
+        Generation restarts from scratch on re-admission: the eviction policy
+        is re-``setup`` at join and the sampler is rebuilt from its factory,
+        so the rerun is bit-identical to an uninterrupted run — preemption
+        can change *when* a request finishes, never *what* it generates.
+        """
+        self.tokens.clear()
+        self.total_logprob = 0.0
+        self.step = 0
+        self.pending_token = None
+        self.status = RequestStatus.QUEUED
+        self.cache_stats = None
+        self.n_steps = 0
+        self.admitted_seq = -1
+        self.preemptions += 1
+        if self.sampler_factory is not None:
+            self.sampler = self.sampler_factory()
 
     def result(self) -> GenerationResult:
         """The finished request's output in :class:`GenerationResult` form.

@@ -1,34 +1,53 @@
 """Admission scheduling for the continuous-batching engine.
 
 The scheduler decides *when* a queued request joins the running batch; the
-engine decides *how* the batch executes.  :class:`FCFSScheduler` implements
-strict first-come-first-served admission under two budgets:
+engine decides *how* the batch executes.  Two schedulers are provided:
 
-``max_batch_size``
-    Upper bound on concurrently decoding sequences — the width of the
-    persistent batch (and of the KV slabs backing it).
+:class:`FCFSScheduler`
+    Strict first-come-first-served admission under two static budgets:
 
-``max_total_tokens``
-    Upper bound on the sum of worst-case sequence lengths
-    (``prompt_len + max_new_tokens``) across running requests.  This caps the
-    KV-cache memory the batch can ever need, so admission never has to evict
-    or preempt a running request mid-flight.
+    ``max_batch_size``
+        Upper bound on concurrently decoding sequences — the width of the
+        persistent batch.
 
-Admission is head-of-line blocking by design: if the oldest queued request
-does not fit, nothing behind it is admitted either.  Skipping ahead would
-improve utilization slightly but makes admission latency unpredictable under
-load; and because batched execution is bit-exact per sequence, admission
-order affects *when* a request finishes, never *what* it generates (the
-property tests pin this invariant).
+    ``max_total_tokens``
+        Upper bound on the sum of worst-case sequence lengths
+        (``prompt_len + max_new_tokens``) across running requests.  This is
+        the historical *worst-case reservation* discipline: admission never
+        has to evict or preempt, but memory reserved for tokens that are
+        never generated (or that an eviction policy immediately frees) is
+        dead capacity.
+
+:class:`PagedScheduler`
+    Memory-aware admission against the paged KV store's **actual free
+    pages**.  A request is admitted when its prompt pages fit the tightest
+    layer pool with a watermark of headroom to spare (counting pages the
+    prefix registry could reclaim); growth during decoding is paid for by
+    preempting the newest running request back to the queue when the pool
+    runs dry (the engine drives that part).  Because an eviction policy that
+    holds a 128-token budget only ever occupies 128 tokens of pages, paged
+    admission packs far more concurrent requests into the same memory than
+    the worst-case token budget allows.
+
+Admission is head-of-line blocking by design in both: if the oldest queued
+request does not fit, nothing behind it is admitted either.  Skipping ahead
+would improve utilization slightly but makes admission latency unpredictable
+under load; and because batched execution is bit-exact per sequence,
+admission order (and preemption) affects *when* a request finishes, never
+*what* it generates (the property tests pin this invariant).
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING
 
 from repro.serving.request import RequestState
 
-__all__ = ["FCFSScheduler"]
+if TYPE_CHECKING:
+    from repro.kvcache.paged import PagedKVStore, PrefixRegistry
+
+__all__ = ["FCFSScheduler", "PagedScheduler"]
 
 
 class FCFSScheduler:
@@ -58,6 +77,28 @@ class FCFSScheduler:
             )
         self._queue.append(state)
 
+    def requeue(self, state: RequestState) -> None:
+        """Put a preempted request back at the head of the queue.
+
+        The engine preempts newest-admitted-first, so successive ``requeue``
+        calls restore the original arrival order at the front of the queue —
+        FCFS completion semantics survive preemption.
+        """
+        self._queue.appendleft(state)
+
+    def requeue_many(self, states: list[RequestState]) -> None:
+        """Put several requests (in arrival order) back at the queue head."""
+        for state in reversed(states):
+            self._queue.appendleft(state)
+
+    def cancel(self, request_id: int) -> RequestState | None:
+        """Remove a queued request; returns its state (or ``None`` if absent)."""
+        for state in self._queue:
+            if state.request_id == request_id:
+                self._queue.remove(state)
+                return state
+        return None
+
     def __len__(self) -> int:
         return len(self._queue)
 
@@ -67,7 +108,20 @@ class FCFSScheduler:
         return tuple(self._queue)
 
     # ------------------------------------------------------------------
-    def admit(self, n_running: int, tokens_in_flight: int) -> list[RequestState]:
+    def _fits(self, state: RequestState, tokens_in_flight: int) -> bool:
+        cost = state.request.token_budget
+        return (
+            self.max_total_tokens is None
+            or tokens_in_flight + cost <= self.max_total_tokens
+        )
+
+    def admit(
+        self,
+        n_running: int,
+        tokens_in_flight: int,
+        store: "PagedKVStore | None" = None,
+        registry: "PrefixRegistry | None" = None,
+    ) -> list[RequestState]:
         """Pop every queued request that fits the current budgets, in order.
 
         Parameters
@@ -76,18 +130,77 @@ class FCFSScheduler:
             Number of sequences currently decoding in the batch.
         tokens_in_flight:
             Sum of ``token_budget`` over those sequences.
+        store, registry:
+            Accepted (and ignored) so the engine can drive either scheduler
+            through one call signature; :class:`PagedScheduler` uses them.
         """
         admitted: list[RequestState] = []
         while self._queue:
             head = self._queue[0]
             if n_running + len(admitted) >= self.max_batch_size:
                 break
-            cost = head.request.token_budget
-            if (
-                self.max_total_tokens is not None
-                and tokens_in_flight + cost > self.max_total_tokens
-            ):
+            if not self._fits(head, tokens_in_flight):
                 break
             admitted.append(self._queue.popleft())
-            tokens_in_flight += cost
+            tokens_in_flight += head.request.token_budget
+        return admitted
+
+
+class PagedScheduler(FCFSScheduler):
+    """FCFS admission against the paged store's actual free pages.
+
+    Parameters
+    ----------
+    watermark:
+        Fraction of each layer pool kept free at admission time (default
+        10%).  The watermark is the buffer that running sequences grow into;
+        a larger value admits less aggressively but preempts less often.
+    max_total_tokens:
+        Optional worst-case token budget kept as a *secondary* cap (useful
+        for latency SLOs); ``None`` disables it and admission is purely
+        memory-aware.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int = 8,
+        max_total_tokens: int | None = None,
+        watermark: float = 0.1,
+    ):
+        super().__init__(max_batch_size, max_total_tokens)
+        if not 0.0 <= watermark < 1.0:
+            raise ValueError("watermark must be in [0, 1)")
+        self.watermark = watermark
+
+    def admit(
+        self,
+        n_running: int,
+        tokens_in_flight: int,
+        store: "PagedKVStore | None" = None,
+        registry: "PrefixRegistry | None" = None,
+    ) -> list[RequestState]:
+        admitted: list[RequestState] = []
+        reserved = 0  # pages already claimed by earlier admissions this call
+        while self._queue:
+            head = self._queue[0]
+            if n_running + len(admitted) >= self.max_batch_size:
+                break
+            if not self._fits(head, tokens_in_flight):
+                break
+            if store is not None and not store.growable:
+                # Admit against actual free pages in the tightest layer pool:
+                # the prompt (plus one decode slot) must fit above the
+                # watermark, counting pages the prefix registry could free.
+                needed = store.pages_for_tokens(head.request.prompt_len + 1)
+                reclaimable = registry.reclaimable_pages() if registry is not None else 0
+                per_pool = min(
+                    pool.free_pages + min(reclaimable, pool.n_pages)
+                    for pool in store.pools
+                )
+                headroom = max(int(self.watermark * store.pools[0].n_pages), 1)
+                if reserved + needed + headroom > per_pool:
+                    break
+                reserved += needed
+            admitted.append(self._queue.popleft())
+            tokens_in_flight += head.request.token_budget
         return admitted

@@ -58,6 +58,43 @@ class TestMemoryModel:
         # With a 50% cache (2048 retained tokens) it fits again.
         assert memory.fits(A100_80GB.capacity_bytes, 2049, batch_size=2, beam_size=4)
 
+    def test_paged_kv_rounds_to_whole_pages(self):
+        memory = MemoryModel(MPT_7B)
+        assert memory.kv_pages(1, 16) == 1
+        assert memory.kv_pages(16, 16) == 1
+        assert memory.kv_pages(17, 16) == 2
+        # 17 cached tokens occupy two full pages — bounded fragmentation…
+        assert memory.paged_kv_cache_bytes(17, page_size=16) == pytest.approx(
+            memory.kv_cache_bytes(32)
+        )
+        # …never more than one page per sequence over the contiguous size.
+        assert memory.paged_kv_cache_bytes(1000, page_size=16) < memory.kv_cache_bytes(
+            1000
+        ) + memory.kv_page_bytes(16)
+
+    def test_paged_concurrency_beats_worst_case_reservation(self):
+        """Memory-aware paged admission holds more 512-token-resident windows
+        than reserving worst-case 4096-token slabs would."""
+        memory = MemoryModel(MPT_7B)
+        paged = memory.paged_max_concurrency(A100_80GB.capacity_bytes, seq_len=512)
+        worst_case = memory.max_batch_size(A100_80GB.capacity_bytes, seq_len=4096)
+        assert paged > worst_case
+
+    def test_measured_kv_bytes_uses_cache_nbytes(self):
+        import numpy as np
+
+        from repro.kvcache.cache import LayerKVCache
+
+        caches = [
+            LayerKVCache.from_prompt(
+                np.zeros((1, 2, 10, 4)), np.zeros((1, 2, 10, 4))
+            )
+            for _ in range(3)
+        ]
+        # float64 storage: 2 tensors * 2 heads * 10 tokens * 4 dims * 8 bytes.
+        assert MemoryModel.measured_kv_bytes(caches) == 3 * 2 * 2 * 10 * 4 * 8
+        assert MemoryModel.measured_kv_bytes(caches, dtype_bytes=2) == 3 * 2 * 2 * 10 * 4 * 2
+
     def test_spec_validation(self):
         with pytest.raises(ValueError):
             PerfModelSpec("bad", 2, 100, 3, 100, 100)

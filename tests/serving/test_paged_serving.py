@@ -1,0 +1,310 @@
+"""Serving tests for the paged engine: prefix sharing, memory-aware admission,
+preemption and abort — all under the engine's bit-exactness invariant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CachePolicyConfig, KeyformerConfig
+from repro.core.keyformer import KeyformerPolicy
+from repro.core.policies import FullAttentionPolicy, WindowAttentionPolicy
+from repro.generation.generator import Generator
+from repro.generation.sampler import GreedySampler
+from repro.kvcache.paged import PoolExhausted
+from repro.models.config import GenerationConfig, ModelConfig
+from repro.models.transformer import DecoderLM
+from repro.serving.engine import ContinuousBatchingEngine
+from repro.serving.request import FinishReason, RequestStatus
+from repro.serving.scheduler import PagedScheduler
+
+VOCAB = 96
+
+
+def make_model(**overrides) -> DecoderLM:
+    config = dict(
+        vocab_size=VOCAB,
+        d_model=32,
+        n_layers=2,
+        n_heads=4,
+        d_ff=64,
+        max_seq_len=512,
+        positional="rope",
+    )
+    config.update(overrides)
+    return DecoderLM(ModelConfig(**config), seed=0)
+
+
+def window_factory():
+    return WindowAttentionPolicy(CachePolicyConfig(kv_budget=48))
+
+
+def shared_prompts(rng, n=4, prefix_len=80, suffix_len=12):
+    prefix = rng.integers(0, VOCAB, size=prefix_len)
+    return [
+        np.concatenate([prefix, rng.integers(0, VOCAB, size=suffix_len)]).astype(
+            np.int64
+        )
+        for _ in range(n)
+    ]
+
+
+def solo(model, factory, prompt, config):
+    return Generator(model, factory()).generate(prompt, config, sampler=GreedySampler())
+
+
+class TestPrefixSharing:
+    @pytest.mark.parametrize("positional", ["rope", "alibi", "learned"])
+    def test_shared_prefix_outputs_bit_identical(self, positional):
+        model = make_model(positional=positional)
+        rng = np.random.default_rng(1)
+        prompts = shared_prompts(rng)
+        config = GenerationConfig(max_new_tokens=8)
+        engine = ContinuousBatchingEngine(
+            model, policy_factory=window_factory, max_batch_size=4
+        )
+        states = [engine.submit(p, config, sampler=GreedySampler()) for p in prompts]
+        engine.run()
+        for state, prompt in zip(states, prompts):
+            reference = solo(model, window_factory, prompt, config)
+            assert state.tokens == reference.sequences[0]
+            assert state.result().log_probs == reference.log_probs
+            assert (
+                state.cache_stats.lengths_per_step
+                == reference.cache_stats.lengths_per_step
+            )
+        # The 80-token common prefix (5 pages) was mapped, not recomputed.
+        assert engine.prefill_savings > 2.0
+        assert engine.prefill_computed_tokens < engine.prefill_prompt_tokens
+
+    def test_sequential_requests_share_after_retirement(self):
+        """Registered prefixes outlive the request that seeded them."""
+        model = make_model()
+        rng = np.random.default_rng(2)
+        prompts = shared_prompts(rng, n=2)
+        config = GenerationConfig(max_new_tokens=4)
+        engine = ContinuousBatchingEngine(
+            model, policy_factory=window_factory, max_batch_size=1
+        )
+        first = engine.submit(prompts[0], config, sampler=GreedySampler())
+        engine.run()
+        second = engine.submit(prompts[1], config, sampler=GreedySampler())
+        engine.run()
+        assert engine.prefill_computed_tokens < engine.prefill_prompt_tokens
+        for state, prompt in zip((first, second), prompts):
+            assert state.tokens == solo(model, window_factory, prompt, config).sequences[0]
+
+    def test_identical_prompts_map_same_pages(self):
+        model = make_model()
+        rng = np.random.default_rng(3)
+        prompt = rng.integers(0, VOCAB, size=64).astype(np.int64)
+        config = GenerationConfig(max_new_tokens=4)
+        engine = ContinuousBatchingEngine(
+            model, policy_factory=FullAttentionPolicy, max_batch_size=2
+        )
+        states = [engine.submit(prompt, config, sampler=GreedySampler()) for _ in range(2)]
+        engine.step()
+        usage = engine.pool_usage()
+        assert usage["pages_shared"] > 0
+        engine.run()
+        assert states[0].tokens == states[1].tokens
+
+    def test_score_policies_bypass_sharing(self):
+        """Keyformer consumes prompt attention, so its requests must prefill
+        fully even when a matching prefix is resident — and stay bit-exact."""
+        model = make_model()
+        rng = np.random.default_rng(4)
+        prompts = shared_prompts(rng, n=2)
+        config = GenerationConfig(max_new_tokens=6)
+
+        def factory():
+            return KeyformerPolicy(KeyformerConfig(kv_fraction=0.5))
+
+        engine = ContinuousBatchingEngine(model, policy_factory=factory, max_batch_size=2)
+        states = [engine.submit(p, config, sampler=GreedySampler()) for p in prompts]
+        engine.run()
+        assert engine.prefill_computed_tokens == engine.prefill_prompt_tokens
+        for state, prompt in zip(states, prompts):
+            assert state.tokens == solo(model, factory, prompt, config).sequences[0]
+
+    def test_sharing_disabled_flag(self):
+        model = make_model()
+        rng = np.random.default_rng(5)
+        prompts = shared_prompts(rng, n=2)
+        config = GenerationConfig(max_new_tokens=4)
+        engine = ContinuousBatchingEngine(
+            model,
+            policy_factory=window_factory,
+            max_batch_size=2,
+            enable_prefix_sharing=False,
+        )
+        for p in prompts:
+            engine.submit(p, config, sampler=GreedySampler())
+        engine.run()
+        assert engine.prefill_savings == 1.0
+
+
+class TestPreemption:
+    def test_pool_pressure_preempts_and_stays_bit_exact(self):
+        model = make_model()
+        rng = np.random.default_rng(6)
+        prompts = [rng.integers(0, VOCAB, size=n).astype(np.int64) for n in (60, 55, 70, 50)]
+        config = GenerationConfig(max_new_tokens=24)
+        engine = ContinuousBatchingEngine(
+            model,
+            policy_factory=FullAttentionPolicy,
+            max_batch_size=4,
+            max_pool_tokens=256,
+            enable_prefix_sharing=False,
+        )
+        states = [engine.submit(p, config, sampler=GreedySampler()) for p in prompts]
+        engine.run()
+        assert engine.n_preemptions > 0
+        for state, prompt in zip(states, prompts):
+            reference = solo(model, FullAttentionPolicy, prompt, config)
+            assert state.tokens == reference.sequences[0]
+            assert state.result().log_probs == reference.log_probs
+
+    def test_preemption_preserves_fcfs_completion_order(self):
+        """Older requests are never the victim: with equal budgets they finish
+        no later than the requests admitted after them."""
+        model = make_model()
+        rng = np.random.default_rng(7)
+        prompts = [rng.integers(0, VOCAB, size=48).astype(np.int64) for _ in range(4)]
+        config = GenerationConfig(max_new_tokens=40)
+        engine = ContinuousBatchingEngine(
+            model,
+            policy_factory=FullAttentionPolicy,
+            max_batch_size=4,
+            max_pool_tokens=144,
+            enable_prefix_sharing=False,
+        )
+        states = [engine.submit(p, config, sampler=GreedySampler()) for p in prompts]
+        finished = engine.run()
+        assert engine.n_preemptions > 0
+        finish_order = [s.request_id for s in finished]
+        assert finish_order == sorted(finish_order)
+        for state, prompt in zip(states, prompts):
+            assert state.tokens == solo(model, FullAttentionPolicy, prompt, config).sequences[0]
+
+    def test_oversized_request_rejected_at_submit(self):
+        """A request whose worst case can never fit the fixed pool would
+        exhaust it mid-decode with nothing to preempt — reject it up front."""
+        model = make_model()
+        rng = np.random.default_rng(8)
+        engine = ContinuousBatchingEngine(
+            model,
+            policy_factory=FullAttentionPolicy,
+            max_batch_size=2,
+            max_pool_tokens=64,
+        )
+        with pytest.raises(ValueError, match="fixed pool"):
+            engine.submit(
+                rng.integers(0, VOCAB, size=200).astype(np.int64),
+                GenerationConfig(max_new_tokens=4),
+            )
+
+    def test_watermark_blocked_request_raises_instead_of_spinning(self):
+        """Fits the pool in the worst case, but never clears the admission
+        watermark: the engine must raise, not spin forever."""
+        model = make_model(max_seq_len=1024)
+        rng = np.random.default_rng(8)
+        engine = ContinuousBatchingEngine(
+            model,
+            policy_factory=FullAttentionPolicy,
+            max_batch_size=2,
+            max_pool_tokens=640,  # 40 pages; watermark headroom = 4 pages
+        )
+        engine.submit(
+            rng.integers(0, VOCAB, size=600).astype(np.int64),
+            GenerationConfig(max_new_tokens=8),
+        )
+        with pytest.raises(PoolExhausted, match="cannot be admitted"):
+            engine.run()
+
+
+class TestAbort:
+    def _engine_and_states(self, max_batch=2):
+        model = make_model()
+        rng = np.random.default_rng(9)
+        prompts = [rng.integers(0, VOCAB, size=n).astype(np.int64) for n in (40, 35, 45, 30)]
+        engine = ContinuousBatchingEngine(
+            model, policy_factory=FullAttentionPolicy, max_batch_size=max_batch
+        )
+        config = GenerationConfig(max_new_tokens=12)
+        states = [engine.submit(p, config, sampler=GreedySampler()) for p in prompts]
+        return model, engine, states, prompts, config
+
+    def test_abort_queued_request(self):
+        _, engine, states, _, _ = self._engine_and_states()
+        engine.step()  # admits the first two; 2 and 3 stay queued
+        assert engine.abort(states[3].request_id)
+        assert states[3].status is RequestStatus.FINISHED
+        assert states[3].finish_reason is FinishReason.ABORTED
+        assert states[3].tokens == []
+        assert engine.n_queued == 1
+        engine.run()
+        assert all(s.finished for s in states)
+
+    def test_abort_running_request_frees_pages(self):
+        _, engine, states, _, _ = self._engine_and_states()
+        engine.step()
+        used_before = engine.pool_usage()["pages_used"]
+        assert engine.abort(states[0].request_id)
+        assert states[0].finish_reason is FinishReason.ABORTED
+        assert engine.pool_usage()["pages_used"] < used_before
+        engine.run()
+
+    def test_abort_unknown_or_finished_returns_false(self):
+        _, engine, states, _, _ = self._engine_and_states()
+        engine.run()
+        assert not engine.abort(states[0].request_id)
+        assert not engine.abort(999)
+
+    def test_abort_does_not_disturb_survivors(self):
+        model, engine, states, prompts, config = self._engine_and_states()
+        engine.step()
+        engine.abort(states[0].request_id)
+        engine.run()
+        for idx in (1, 2, 3):
+            reference = solo(model, FullAttentionPolicy, prompts[idx], config)
+            assert states[idx].tokens == reference.sequences[0]
+
+    def test_scheduler_cancel_removes_from_queue(self):
+        scheduler = PagedScheduler(max_batch_size=2)
+        _, engine, states, _, _ = self._engine_and_states()
+        for state in states:
+            scheduler.submit(state)
+        assert scheduler.cancel(states[1].request_id) is states[1]
+        assert scheduler.cancel(123) is None
+        assert [s.request_id for s in scheduler.pending] == [0, 2, 3]
+
+
+class TestPagedScheduler:
+    def test_admits_against_free_pages_not_token_budget(self):
+        """Window-policy requests only occupy their budget, so paged admission
+        packs more concurrent requests than worst-case token accounting."""
+        model = make_model()
+        rng = np.random.default_rng(10)
+        prompts = [rng.integers(0, VOCAB, size=64).astype(np.int64) for _ in range(3)]
+        config = GenerationConfig(max_new_tokens=8)
+        engine = ContinuousBatchingEngine(
+            model,
+            policy_factory=window_factory,
+            max_batch_size=3,
+            max_pool_tokens=320,
+            enable_prefix_sharing=False,
+        )
+        states = [engine.submit(p, config, sampler=GreedySampler()) for p in prompts]
+        engine.step()
+        # Worst-case accounting (3 × 72 = 216 tokens = 15 pages + watermark)
+        # would block the third request in a 20-page pool; memory-aware
+        # admission runs all three because evicted prompt pages come back.
+        assert engine.n_running == 3
+        engine.run()
+        for state, prompt in zip(states, prompts):
+            assert state.tokens == solo(model, window_factory, prompt, config).sequences[0]
+
+    def test_watermark_validation(self):
+        with pytest.raises(ValueError, match="watermark"):
+            PagedScheduler(max_batch_size=2, watermark=1.5)
