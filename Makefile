@@ -9,7 +9,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # CI jobs on one runner never clobber each other's reports.
 BENCH_SMOKE_OUT ?= BENCH_smoke.json
 
-.PHONY: test test-cov bench bench-smoke bench-gate lint serve-demo check
+.PHONY: test test-cov bench bench-smoke bench-gate lint docs-check serve-demo check
 
 test:
 	$(PYTHON) -m pytest -x -q tests
@@ -34,6 +34,13 @@ bench-gate: bench-smoke
 lint:
 	ruff check .
 	ruff format --check .
+
+# The CI docs job: every docs page reachable from README with no dead links,
+# plus pydocstyle (ruff D) docstring rules on the serving and speculative
+# subsystems so the newest code stays documented.
+docs-check:
+	$(PYTHON) tools/check_docs.py
+	ruff check --select D100,D101,D102,D103,D104,D419 src/repro/speculative src/repro/serving
 
 serve-demo:
 	$(PYTHON) examples/serving_demo.py

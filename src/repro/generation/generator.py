@@ -39,6 +39,10 @@ class GenerationResult:
     policy: dict = field(default_factory=dict)
     n_steps: int = 0
     log_probs: list[float] = field(default_factory=list)
+    #: Draft/verify telemetry when the result came from speculative decoding
+    #: (see :class:`repro.speculative.telemetry.SpeculationStats`); empty
+    #: for vanilla generation.
+    speculation: dict = field(default_factory=dict)
 
     @property
     def n_generated(self) -> int:

@@ -78,7 +78,12 @@ def sample_rows(samplers: Sequence[Sampler], logits: np.ndarray) -> np.ndarray:
 def make_sampler(
     temperature: float = 1.0, top_k: int = 0, seed: int = 0
 ) -> Sampler:
-    """Greedy when no randomness is requested, otherwise top-k sampling."""
-    if top_k == 0 and temperature == 1.0:
+    """Greedy when no randomness is requested, otherwise top-k sampling.
+
+    ``temperature == 0`` is the conventional spelling of greedy decoding
+    (the zero-temperature limit of softmax sampling is argmax), so it maps
+    to :class:`GreedySampler` regardless of ``top_k``.
+    """
+    if temperature == 0.0 or (top_k == 0 and temperature == 1.0):
         return GreedySampler()
     return TopKSampler(top_k=top_k or 0, temperature=temperature, seed=seed)

@@ -318,6 +318,29 @@ class BatchedLayerView:
         self.manager.observe_batch(self.layer_idx, logits, probs)
 
 
+class RowVerifyView:
+    """Per-layer speculative-verify facade for one running row.
+
+    Implements the ``VerifyLayerCache`` protocol of
+    :meth:`repro.models.block.DecoderBlock.verify_step` against a single
+    sequence of the batched store — the serving engine's speculation mode
+    verifies each row's draft block through these.
+    """
+
+    def __init__(self, manager: "BatchedCacheManager", layer_idx: int, row: int):
+        self.manager = manager
+        self.layer_idx = layer_idx
+        self.row = row
+
+    def append_block(self, k: np.ndarray, v: np.ndarray) -> None:
+        self.manager.append_block_row(self.layer_idx, self.row, k, v)
+
+    def verify_view(
+        self, n_queries: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
+        return self.manager.verify_view_row(self.layer_idx, self.row, n_queries)
+
+
 class BatchedCacheManager:
     """Owns the paged store's per-layer pools and one eviction policy per row.
 
@@ -637,6 +660,68 @@ class BatchedCacheManager:
                 self._step_lengths[row] = []
             self.generation_step[row] += 1
             self.current_position[row] += 1
+        self._qpos = None
+
+    # ------------------------------------------------------------------
+    # speculative verify phase (single-row multi-token decode)
+    # ------------------------------------------------------------------
+    def row_verify_views(self, row: int) -> list[RowVerifyView]:
+        """Per-layer verify facades for one row (see :class:`RowVerifyView`)."""
+        return [RowVerifyView(self, i, row) for i in range(self.n_layers)]
+
+    def append_block_row(self, layer_idx: int, row: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Append ``S`` consecutive tokens to one row of one layer in one write.
+
+        ``k``/``v`` have shape ``(S, heads, d_head)``; tokens land at the
+        row's original positions ``current_position[row] ..  + S`` with eager
+        RoPE rotation per token (bit-identical to appending sequentially).
+        """
+        cache = self.caches[layer_idx]
+        s = k.shape[0]
+        start = self.current_position[row]
+        positions = np.arange(start, start + s)
+        pos_ht = np.broadcast_to(positions, (self.n_heads, s))
+        cache.pool.extend(
+            cache.tables[row], k.transpose(1, 0, 2), v.transpose(1, 0, 2), pos_ht
+        )
+        self.stats[row].total_appended += s
+
+    def verify_view_row(
+        self, layer_idx: int, row: int, n_queries: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
+        """Unbatched verify-pass view of one row (mirrors
+        :meth:`repro.kvcache.manager.CacheManager.verify_view`)."""
+        cache = self.caches[layer_idx]
+        table = cache.tables[row]
+        pool = cache.pool
+        length = table.length
+        lengths = np.arange(length - n_queries + 1, length + 1)
+        rotated = self.positional_mode == "original" and self.rope_dims > 0
+        keys = pool.rotated_view(table) if rotated else pool.keys_view(table)
+        values = pool.values_view(table)
+        if self.positional_mode == "original":
+            key_positions = pool.positions_view(table)
+            start = self.current_position[row]
+            query_positions = np.arange(start, start + n_queries)
+        else:
+            key_positions = np.broadcast_to(np.arange(length), (self.n_heads, length))
+            query_positions = lengths - 1
+        return keys, values, key_positions, query_positions, lengths, rotated
+
+    def commit_verify_row(self, row: int, n_committed: int, n_appended: int) -> None:
+        """Finalize one row's verify round: truncate the rejected tail and
+        advance that row's position/step counters by the committed count."""
+        drop = n_appended - n_committed
+        if drop < 0:
+            raise ValueError("cannot commit more tokens than were appended")
+        if drop:
+            for cache in self.caches:
+                cache.pool.truncate(cache.tables[row], drop)
+        self.stats[row].record_backdated_steps(
+            [cache.tables[row].length for cache in self.caches], n_committed
+        )
+        self.generation_step[row] += n_committed
+        self.current_position[row] += n_committed
         self._qpos = None
 
     # ------------------------------------------------------------------

@@ -166,6 +166,39 @@ class LayerKVCache:
             **kwargs,
         )
 
+    @classmethod
+    def map_tables(
+        cls, pool: BlockPool, tables: list[PageTable], rope_dims: int = 0
+    ) -> "LayerKVCache":
+        """A cache whose rows *map* existing page tables instead of copying.
+
+        Used by the speculative drafter to start from the target sequence's
+        prompt pages: each row clones a source table and retains its live
+        pages (a refcount bump), so drafter and target co-own the physical
+        prompt KV until the drafter's first divergent write (its prompt-phase
+        eviction, or an append into the shared boundary page), when
+        copy-on-write gives the drafter a private page.  Only pages covering
+        live tokens are mapped — the source's reserve-capacity tail stays
+        exclusively its own, so its in-place appends need no copy.
+        """
+        cache = cls.__new__(cls)
+        cache.dtype = pool.dtype
+        cache.rope_dims = int(rope_dims)
+        cache._pool = pool
+        cache._tables = []
+        for table in tables:
+            clone = table.clone()
+            live_pages = pages_needed(clone.end, pool.page_size)
+            del clone.pages[live_pages:]
+            pool.retain(clone.pages)
+            cache._tables.append(clone)
+        cache._version = 0
+        cache._dense = {}
+        cache._dense_version = -1
+        cache.total_appended = cache._tables[0].length if cache._tables else 0
+        cache.total_evicted = 0
+        return cache
+
     # ------------------------------------------------------------------
     def _resolve(self, name: str) -> np.ndarray:
         """Dense ``(B, H, L, ...)`` materialization of one pool slab.
@@ -324,6 +357,73 @@ class LayerKVCache:
             evicted = self._pool.gather(table, indices[row])
         self._version += 1
         self.total_evicted += max(evicted, 0)
+
+    def truncate(self, n: int) -> None:
+        """Drop the last ``n`` tokens of every row (speculative rollback).
+
+        The verify pass appends the whole draft block optimistically; rejected
+        tokens are rolled back here — an O(1) length decrement plus a refcount
+        drop for trailing pages that no longer hold live tokens.
+        """
+        if n == 0:
+            return
+        for table in self._tables:
+            self._pool.truncate(table, n)
+        self._version += 1
+
+    def extend(self, keys: np.ndarray, values: np.ndarray, positions: np.ndarray) -> None:
+        """Bulk-append a block of tokens to every row.
+
+        ``keys``/``values`` have shape ``(batch, heads, T, d_head)`` and
+        ``positions`` shape ``(batch, heads, T)`` — the multi-token write of
+        the speculative verify pass (one page-span write per slab, eager
+        rotation included, exactly like seeding from a prompt).
+        """
+        keys = np.asarray(keys)
+        values = np.asarray(values)
+        positions = np.asarray(positions, dtype=np.int64)
+        t = keys.shape[2]
+        if t == 0:
+            return
+        for row, table in enumerate(self._tables):
+            self._pool.extend(table, keys[row], values[row], positions[row])
+        self._version += 1
+        self.total_appended += t
+
+    # ------------------------------------------------------------------
+    def fork_tables(self) -> list[PageTable]:
+        """Snapshot every row's page table, retaining the pages.
+
+        The clones co-own the physical pages (refcount bump); hand them back
+        through :meth:`restore_tables` to rewind, or release each via
+        ``pool.release_table`` to discard the snapshot.  The speculative
+        drafter snapshots before consuming each unverified draft token so a
+        rejected draft can be rolled back without replaying the cache.
+        """
+        forked = []
+        for table in self._tables:
+            clone = table.clone()
+            self._pool.retain(clone.pages)
+            forked.append(clone)
+        return forked
+
+    def restore_tables(self, tables: list[PageTable]) -> None:
+        """Adopt snapshot ``tables`` from :meth:`fork_tables`, releasing the
+        current ones.  Ownership transfers to the cache — a snapshot can be
+        restored at most once."""
+        if len(tables) != len(self._tables):
+            raise ValueError(
+                f"snapshot has {len(tables)} rows, cache has {len(self._tables)}"
+            )
+        for table in self._tables:
+            self._pool.release_table(table)
+        self._tables = list(tables)
+        self._version += 1
+
+    def discard_tables(self, tables: list[PageTable]) -> None:
+        """Release an unused snapshot from :meth:`fork_tables`."""
+        for table in tables:
+            self._pool.release_table(table)
 
     def reorder(self, batch_indices: np.ndarray) -> None:
         """Reorder (or duplicate) the batch dimension — used by beam search.

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.core.policies import EvictionPolicy
 from repro.kvcache.cache import LayerKVCache
-from repro.kvcache.paged import DEFAULT_PAGE_SIZE, PagedKVStore, pages_needed
+from repro.kvcache.paged import DEFAULT_PAGE_SIZE, PagedKVStore, PageTable, pages_needed
 from repro.kvcache.stats import CacheStats
 
 __all__ = ["CacheManager", "LayerCacheView"]
@@ -43,6 +43,15 @@ class LayerCacheView:
 
     def observe(self, logits: np.ndarray, probs: np.ndarray) -> None:
         self.manager.observe(self.layer_idx, logits, probs)
+
+    # -- speculative verify protocol (see DecoderBlock.verify_step) --------
+    def append_block(self, k: np.ndarray, v: np.ndarray) -> None:
+        self.manager.append_block(self.layer_idx, k, v)
+
+    def verify_view(
+        self, n_queries: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
+        return self.manager.verify_view(self.layer_idx, n_queries)
 
 
 class CacheManager:
@@ -69,6 +78,7 @@ class CacheManager:
         dtype: np.dtype | str | None = None,
         rope_dims: int = 0,
         page_size: int = DEFAULT_PAGE_SIZE,
+        store: PagedKVStore | None = None,
     ):
         self.policy = policy
         self.n_layers = n_layers
@@ -82,7 +92,16 @@ class CacheManager:
         # (stable) original positions; renumbered mode re-rotates per step.
         self.rope_dims = int(rope_dims) if self.positional_mode == "original" else 0
         self.page_size = int(page_size)
-        self.store: PagedKVStore | None = None
+        if store is not None:
+            # A caller-supplied store lets two managers share one set of
+            # block pools — the speculative decoder's target and drafter
+            # hold their own page tables over the same physical pages.  With
+            # a fixed (non-growable) store, allocations can surface
+            # ``PoolExhausted``; the serving engine answers that with
+            # preemption, solo callers should pass a growable store.
+            self.page_size = store.page_size
+        self._shared_store = store
+        self.store: PagedKVStore | None = store
         self.caches: list[LayerKVCache] = []
         self.stats = CacheStats(n_layers=n_layers, n_heads=n_heads, d_head=d_head)
         self.prompt_len = 0
@@ -94,6 +113,9 @@ class CacheManager:
     def _build_store(self, batch_size: int, capacity: int) -> None:
         """One growable :class:`PagedKVStore` per generation run — the single
         storage substrate every per-layer cache view writes into."""
+        if self._shared_store is not None:
+            self.store = self._shared_store
+            return
         pages = max(pages_needed(capacity, self.page_size), 1) * max(batch_size, 1) + 1
         self.store = PagedKVStore(
             self.n_layers,
@@ -164,6 +186,12 @@ class CacheManager:
         ]
         self.stats.total_appended += prompt_len * self.n_layers
 
+        self._apply_prompt_selections(prompt_attn, prompt_logits, prompt_len)
+
+    def _apply_prompt_selections(
+        self, prompt_attn: list[np.ndarray], prompt_logits: list[np.ndarray], prompt_len: int
+    ) -> None:
+        """Run the policy's prompt-phase eviction over freshly seeded caches."""
         positions = np.arange(prompt_len)
         shared_selection: np.ndarray | None = None
         for layer_idx in range(self.n_layers):
@@ -179,6 +207,51 @@ class CacheManager:
         if shared_selection is not None:
             for layer_idx in range(self.n_layers):
                 self._apply_selection(layer_idx, shared_selection)
+
+    def initialize_mapped(
+        self,
+        source_tables: list[list["PageTable"]],
+        prompt_attn: list[np.ndarray],
+        prompt_logits: list[np.ndarray],
+        max_new_tokens: int,
+    ) -> None:
+        """Seed by *mapping* another manager's page tables (self-speculation).
+
+        ``source_tables`` holds, per layer, the page tables of a sequence
+        already resident in this manager's (shared) store — typically the
+        speculative target right after its prompt forward.  Instead of
+        copying the prompt KV, each layer cache clones the source table and
+        retains its pages; the drafter's prompt-phase eviction then
+        copy-on-writes into private pages, so target and drafter share
+        physical prompt pages exactly as long as their contents agree.
+        """
+        if self._shared_store is None:
+            raise RuntimeError("initialize_mapped requires a shared store")
+        if len(source_tables) != self.n_layers:
+            raise ValueError(
+                f"expected {self.n_layers} layers of tables, got {len(source_tables)}"
+            )
+        self.store = self._shared_store
+        batch_size = len(source_tables[0])
+        prompt_len = source_tables[0][0].length
+        self.prompt_len = prompt_len
+        self.generation_step = 0
+        self.current_position = prompt_len
+        self._qpos_array = None
+        self.stats = CacheStats(
+            n_layers=self.n_layers,
+            n_heads=self.n_heads,
+            d_head=self.d_head,
+            batch_size=batch_size,
+            prompt_len=prompt_len,
+        )
+        self.policy.setup(self.n_layers, self.n_heads, batch_size, prompt_len, max_new_tokens)
+        self.caches = [
+            LayerKVCache.map_tables(self.store.pool(layer), tables, rope_dims=self.rope_dims)
+            for layer, tables in enumerate(source_tables)
+        ]
+        self.stats.total_appended += prompt_len * self.n_layers
+        self._apply_prompt_selections(prompt_attn, prompt_logits, prompt_len)
 
     def initialize_empty(self, batch_size: int, max_new_tokens: int, prompt_len: int = 1) -> None:
         """Start decoding with empty caches (used in unit tests and microbenchmarks)."""
@@ -276,6 +349,91 @@ class CacheManager:
         self.generation_step += 1
         self.current_position += 1
         self._qpos_array = None
+
+    # ------------------------------------------------------------------
+    # speculative verify phase
+    # ------------------------------------------------------------------
+    def append_block(self, layer_idx: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Append ``S`` consecutive tokens to one layer's cache in one write.
+
+        ``k``/``v`` have shape ``(S, heads, d_head)`` — the verify pass's
+        row-exact projections of the draft block.  Tokens land at original
+        positions ``current_position .. current_position + S``; eager RoPE
+        rotation happens per token inside the pool (bit-identical to
+        appending them one at a time).
+        """
+        cache = self.caches[layer_idx]
+        if cache.batch_size != 1:
+            raise RuntimeError("the verify path decodes one sequence at a time")
+        s = k.shape[0]
+        positions = np.arange(self.current_position, self.current_position + s)
+        pos_bht = np.broadcast_to(positions, (1, self.n_heads, s))
+        cache.extend(
+            k.transpose(1, 0, 2)[None], v.transpose(1, 0, 2)[None], pos_bht
+        )
+        self.stats.total_appended += s
+
+    def verify_view(
+        self, layer_idx: int, n_queries: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
+        """``(keys, values, key_positions, query_positions, lengths,
+        keys_rotated)`` for a verify pass over the last ``n_queries`` appended
+        tokens.
+
+        Shapes are unbatched — ``(heads, L, d)`` tensors plus per-query
+        ``query_positions``/``lengths`` of shape ``(S,)``; ``lengths[i]`` is
+        the causal cache length query ``i`` may attend over (the prefix a
+        sequential decode would have seen at that step).
+        """
+        cache = self.caches[layer_idx]
+        length = cache.length
+        lengths = np.arange(length - n_queries + 1, length + 1)
+        keys_rotated = False
+        if self.positional_mode == "original":
+            key_positions = cache.retained_original_positions()[0]
+            query_positions = np.arange(
+                self.current_position, self.current_position + n_queries
+            )
+            if self.rope_dims > 0:
+                keys = cache.rotated_keys()[0]
+                keys_rotated = True
+            else:
+                keys = cache.keys[0]
+        else:
+            keys = cache.keys[0]
+            key_positions = np.broadcast_to(np.arange(length), (self.n_heads, length))
+            query_positions = lengths - 1
+        return keys, cache.values[0], key_positions, query_positions, lengths, keys_rotated
+
+    def commit_verify(self, n_committed: int, n_appended: int) -> None:
+        """Finalize one verify round: roll back the rejected tail and advance.
+
+        The verify pass appended ``n_appended`` KV entries per layer; only the
+        first ``n_committed`` correspond to tokens that actually entered the
+        committed sequence, so the last ``n_appended - n_committed`` are
+        truncated (pages back to the free list via the refcount machinery).
+        Position/step counters advance by the committed count, exactly as
+        ``n_committed`` sequential ``advance`` calls would.
+        """
+        drop = n_appended - n_committed
+        if drop < 0:
+            raise ValueError("cannot commit more tokens than were appended")
+        if drop:
+            for cache in self.caches:
+                cache.truncate(drop)
+        self.stats.record_backdated_steps(
+            [cache.length for cache in self.caches], n_committed
+        )
+        self.generation_step += n_committed
+        self.current_position += n_committed
+        self._step_lengths = []
+        self._qpos_array = None
+
+    def release(self) -> None:
+        """Return every cached page to the store (drafter teardown)."""
+        for cache in self.caches:
+            cache.release()
+        self.caches = []
 
     def reorder(self, batch_indices: np.ndarray) -> None:
         """Reorder the batch/beam dimension of every cache and of the policy state."""

@@ -542,6 +542,28 @@ class BlockPool:
         )
         return dropped
 
+    def truncate(self, table: PageTable, n: int) -> None:
+        """Drop the last ``n`` live tokens (speculative-decode rollback).
+
+        Pure bookkeeping: the logical length shrinks and trailing pages that
+        no longer cover any live slot return to the free list (a refcount
+        drop — shared owners keep theirs).  Rejected-token *data* is left in
+        place; the next append overwrites those slots, copy-on-writing first
+        when the page is shared.
+        """
+        if n == 0:
+            return
+        if n < 0 or n > table.length:
+            raise ValueError(f"cannot truncate {n} of {table.length} tokens")
+        table.length -= n
+        if table.length == 0:
+            self.release_table(table)
+            return
+        needed = pages_needed(table.end, self.page_size)
+        if needed < len(table.pages):
+            self.release(table.pages[needed:])
+            del table.pages[needed:]
+
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------

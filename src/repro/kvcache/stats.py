@@ -33,6 +33,19 @@ class CacheStats:
         """Record the per-layer cache length used at one decoding step."""
         self.lengths_per_step.append(list(lengths))
 
+    def record_backdated_steps(self, final_lengths: list[int], n_steps: int) -> None:
+        """Record ``n_steps`` steps leading up to ``final_lengths``.
+
+        The speculative verify commit records its accepted tokens after the
+        fact: a no-eviction cache held exactly ``n_steps - 1 - i`` fewer
+        tokens at committed step ``i`` than it does now.  Shared by the solo
+        and batched managers so the back-dating arithmetic lives once.
+        """
+        for i in range(n_steps):
+            self.record_step(
+                [length - (n_steps - 1 - i) for length in final_lengths]
+            )
+
     # ------------------------------------------------------------------
     @property
     def n_steps(self) -> int:

@@ -138,7 +138,8 @@ class GenerationConfig:
     beam_size:
         Beam width; ``1`` means greedy / sampling decoding.
     temperature:
-        Softmax temperature used by samplers (not Keyformer's τ).
+        Softmax temperature used by samplers (not Keyformer's τ); ``0``
+        conventionally means greedy decoding (argmax).
     top_k:
         If positive, restrict sampling to the ``top_k`` most likely tokens.
     eos_token_id:
@@ -163,5 +164,5 @@ class GenerationConfig:
             raise ValueError("max_new_tokens must be positive")
         if self.beam_size <= 0:
             raise ValueError("beam_size must be positive")
-        if self.temperature <= 0:
-            raise ValueError("temperature must be positive")
+        if self.temperature < 0:
+            raise ValueError("temperature must be non-negative (0 means greedy)")

@@ -1,0 +1,123 @@
+"""Analytical expected-speedup model for draft-then-verify decoding.
+
+Under the standard i.i.d. acceptance approximation (Leviathan et al., 2023,
+"Fast Inference from Transformers via Speculative Decoding"): if each drafted
+token is accepted with probability ``alpha``, a round that drafts ``k``
+tokens commits
+
+    E[c] = (1 - alpha^(k+1)) / (1 - alpha)        (and k + 1 when alpha = 1)
+
+tokens — the accepted geometric prefix plus the correction/bonus token.  A
+round costs ``k`` drafter steps plus one verify pass, so the speedup over
+vanilla decoding (one target step per token) is
+
+    speedup(alpha, k) = E[c] / (k * draft_cost + verify_cost(k))
+
+with costs normalized to one vanilla target step.  The model exposes exactly
+the two knobs the implementation has: the drafter's relative step cost
+(``draft_cost`` — near zero for the n-gram drafter, a budget-dependent
+fraction for self-drafting) and the verify pass's cost model
+(``verify_base + k * verify_per_token``, capturing that one multi-query pass
+amortizes per-step dispatch but still performs each token's attention math).
+
+Feed a measured acceptance rate from
+:class:`repro.speculative.telemetry.SpeculationStats` to compare observed
+against expected speedups, or sweep :meth:`SpeculationModel.optimal_k` to
+pick the draft length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SpeculationModel", "expected_tokens_per_round"]
+
+
+def expected_tokens_per_round(alpha: float, k: int) -> float:
+    """Expected committed tokens per round at acceptance rate ``alpha``.
+
+    ``alpha`` is clamped to ``[0, 1]``; ``k`` is the draft length.  The
+    result lies in ``[1, k + 1]``.
+    """
+    if k < 0:
+        raise ValueError("draft length k must be non-negative")
+    alpha = min(max(alpha, 0.0), 1.0)
+    if alpha == 1.0:
+        return float(k + 1)
+    return (1.0 - alpha ** (k + 1)) / (1.0 - alpha)
+
+
+@dataclass(frozen=True)
+class SpeculationModel:
+    """Cost model of one speculation round, normalized to a vanilla step.
+
+    Parameters
+    ----------
+    draft_cost:
+        Cost of one drafter step relative to one vanilla target step.
+        ``0.0`` models the n-gram drafter; self-drafting over a
+        budget-``B`` cache at context ``L`` lands around the fraction of
+        step time attention occupies times ``B / L`` plus the
+        dispatch-bound floor.
+    verify_base:
+        Fixed cost of a verify pass (the single pass's dispatch/projection
+        overhead, paid once per round).
+    verify_per_token:
+        Incremental verify cost per scored token (each token's attention
+        math still happens once).
+    """
+
+    draft_cost: float = 0.3
+    verify_base: float = 0.4
+    verify_per_token: float = 0.6
+
+    @classmethod
+    def ngram(cls) -> "SpeculationModel":
+        """Model of prompt-lookup drafting: drafting itself is free."""
+        return cls(draft_cost=0.0)
+
+    @classmethod
+    def self_draft(
+        cls, budget: int, context: int, attention_fraction: float = 0.5
+    ) -> "SpeculationModel":
+        """Model of self-drafting with a sparse cache of ``budget`` tokens.
+
+        A drafter step runs the same dense math as the target but attends
+        over ``budget`` instead of ``context`` entries;
+        ``attention_fraction`` is the share of a vanilla step spent in
+        attention at the given context.
+        """
+        if budget <= 0 or context <= 0:
+            raise ValueError("budget and context must be positive")
+        ratio = min(budget / context, 1.0)
+        draft = (1.0 - attention_fraction) + attention_fraction * ratio
+        return cls(draft_cost=draft)
+
+    # ------------------------------------------------------------------
+    def round_cost(self, k: int) -> float:
+        """Cost of one round (k drafter steps + one k+1-token verify pass)."""
+        return k * self.draft_cost + self.verify_base + (k + 1) * self.verify_per_token
+
+    def speedup(self, alpha: float, k: int) -> float:
+        """Expected decode speedup over vanilla one-token-per-step decoding."""
+        if k == 0:
+            return 1.0 / (self.verify_base + self.verify_per_token)
+        return expected_tokens_per_round(alpha, k) / self.round_cost(k)
+
+    def optimal_k(self, alpha: float, max_k: int = 16) -> int:
+        """Draft length maximizing expected speedup (searched over 1..max_k)."""
+        if max_k < 1:
+            raise ValueError("max_k must be >= 1")
+        return max(range(1, max_k + 1), key=lambda k: self.speedup(alpha, k))
+
+    def breakeven_alpha(self, k: int, resolution: int = 1000) -> float:
+        """Smallest acceptance rate at which speculation beats vanilla decode.
+
+        Returns 1.0 when even perfect acceptance cannot pay for the round
+        (drafting too expensive for this ``k``).
+        """
+        for i in range(resolution + 1):
+            alpha = i / resolution
+            if self.speedup(alpha, k) >= 1.0:
+                return alpha
+        return 1.0

@@ -53,7 +53,7 @@ import numpy as np
 
 from repro.core.policies import EvictionPolicy, FullAttentionPolicy
 from repro.generation.generator import GenerationResult, Generator
-from repro.generation.sampler import Sampler, make_sampler, sample_rows
+from repro.generation.sampler import GreedySampler, Sampler, make_sampler, sample_rows
 from repro.kvcache.batch import BatchedCacheManager
 from repro.kvcache.paged import DEFAULT_PAGE_SIZE, PoolExhausted, PrefixMatch
 from repro.kvcache.stats import CacheStats
@@ -62,6 +62,15 @@ from repro.models.tensor_ops import log_softmax
 from repro.models.transformer import DecoderLM
 from repro.serving.request import FinishReason, Request, RequestState, RequestStatus
 from repro.serving.scheduler import FCFSScheduler, PagedScheduler
+from repro.speculative.config import SpeculationConfig
+from repro.speculative.decoder import BatchedRowVerifyTarget, run_round
+from repro.speculative.drafter import (
+    Drafter,
+    NgramDrafter,
+    PolicyDrafter,
+    make_drafter_policy,
+)
+from repro.speculative.telemetry import SpeculationStats
 
 __all__ = ["ContinuousBatchingEngine", "BatchedGenerator"]
 
@@ -97,6 +106,16 @@ class ContinuousBatchingEngine:
         Automatically skipped per request for policies that consume prompt
         attention values (Keyformer, H2O); bit-exactness is unaffected either
         way.
+    speculation:
+        When set, running requests decode through the draft-then-verify loop
+        (:mod:`repro.speculative`) instead of one token per step: each engine
+        step runs one speculation round per row, so rows advance by one to
+        ``k + 1`` tokens depending on their acceptance.  Requires greedy
+        requests under the (default) full-attention policy — the sparse
+        policy belongs to the *drafter* — and keeps every request's output
+        bit-identical to its non-speculative run.  Self-drafting rows hold
+        their drafter page tables in the engine's own store; admission,
+        FCFS ordering and newest-first preemption work unchanged.
     """
 
     def __init__(
@@ -110,6 +129,7 @@ class ContinuousBatchingEngine:
         page_size: int = DEFAULT_PAGE_SIZE,
         max_pool_tokens: int | None = None,
         enable_prefix_sharing: bool = True,
+        speculation: SpeculationConfig | None = None,
     ):
         self.model = model
         self.policy_factory = policy_factory or FullAttentionPolicy
@@ -118,6 +138,27 @@ class ContinuousBatchingEngine:
         self.page_size = int(page_size)
         self.max_pool_tokens = max_pool_tokens
         self.enable_prefix_sharing = enable_prefix_sharing
+        self.speculation = speculation
+        #: Per-request drafter + telemetry, keyed by request id (spec mode).
+        self._spec: dict[int, tuple[Drafter, SpeculationStats]] = {}
+        #: Draft/verify work paid by requests that were later preempted or
+        #: aborted — preemption resets a request's own counters (the rerun
+        #: repeats the work), but the cost was still paid and the aggregate
+        #: telemetry must not hide it.
+        self._spec_discarded = SpeculationStats()
+        #: Prefix sharing must be skipped when the *drafter* policy seeds
+        #: from prompt attention values (mirrors needs_prompt_attention).
+        self._spec_blocks_sharing = False
+        if (
+            speculation is not None
+            and speculation.drafter != "ngram"
+            and speculation.drafter_model is None
+        ):
+            self._spec_blocks_sharing = make_drafter_policy(
+                speculation
+            ).needs_prompt_attention
+        self._last_prompt_attn: list[np.ndarray] | None = None
+        self._last_prompt_scores: list[np.ndarray] | None = None
         self._manager: BatchedCacheManager | None = None
         self._layer_views: list | None = None
         #: Running requests, index == KV-cache row (persistent batch).
@@ -147,13 +188,24 @@ class ContinuousBatchingEngine:
         """Queue one request; returns its state handle (results after finish)."""
         config = config or GenerationConfig()
         request = Request.from_config(self._next_id, prompt_ids, config)
-        if (
-            self.max_pool_tokens is not None
-            and request.token_budget + self.page_size > self.max_pool_tokens
-        ):
-            # A lone request must be able to grow to its worst case (plus one
-            # page of slack) inside the fixed pool, or it could exhaust the
-            # pool mid-decode with nothing left to preempt.
+        # A lone request must be able to grow to its worst case (plus one
+        # page of slack, plus the transient draft block in speculation mode)
+        # inside the fixed pool, or it could exhaust the pool mid-decode with
+        # nothing left to preempt.
+        worst_case = request.token_budget + self.page_size
+        if self.speculation is not None:
+            # The transient draft block, plus — for self-drafting — the
+            # drafter's resident budget-sized cache, which lives in the same
+            # per-layer pools as the request itself.
+            worst_case += self.speculation.k + 1
+            if (
+                self.speculation.drafter != "ngram"
+                and self.speculation.drafter_model is None
+            ):
+                probe = make_drafter_policy(self.speculation)
+                probe.setup(1, 1, 1, request.prompt_len, request.max_new_tokens)
+                worst_case += probe.budget + self.page_size
+        if self.max_pool_tokens is not None and worst_case > self.max_pool_tokens:
             raise ValueError(
                 f"request needs up to {request.token_budget} tokens but the "
                 f"fixed pool holds only {self.max_pool_tokens} — raise "
@@ -166,10 +218,23 @@ class ContinuousBatchingEngine:
                 config.temperature, config.top_k, config.seed
             )
             sampler = sampler_factory()
+        policy = policy or self.policy_factory()
+        if self.speculation is not None:
+            if not isinstance(sampler, GreedySampler):
+                raise ValueError(
+                    "speculative serving verifies greedily; submit greedy "
+                    "requests (temperature 0, or temperature 1 with "
+                    "top_k 0) or disable speculation"
+                )
+            if not isinstance(policy, FullAttentionPolicy):
+                raise ValueError(
+                    "speculative serving runs the full-attention target; put "
+                    "the sparse policy in SpeculationConfig's drafter instead"
+                )
         state = RequestState(
             request=request,
             sampler=sampler,
-            policy=policy or self.policy_factory(),
+            policy=policy,
             sampler_factory=sampler_factory,
         )
         self.scheduler.submit(state)
@@ -198,14 +263,17 @@ class ContinuousBatchingEngine:
 
     @property
     def n_running(self) -> int:
+        """Requests currently decoding in the batch."""
         return len(self._states)
 
     @property
     def n_queued(self) -> int:
+        """Requests waiting for admission."""
         return len(self.scheduler)
 
     @property
     def has_work(self) -> bool:
+        """True while any request is running or queued."""
         return bool(self._states) or bool(len(self.scheduler))
 
     def pool_usage(self) -> dict:
@@ -237,40 +305,17 @@ class ContinuousBatchingEngine:
         then run one batched decode step for everything still running —
         preempting back to the queue first if the page pool cannot fund the
         step's appends.  Returns the requests that finished during this step.
+
+        With ``speculation`` configured the decode half becomes one
+        draft-then-verify round per running request (rows advance by 1 to
+        ``k + 1`` tokens); admission, preemption and FCFS semantics are
+        unchanged.
         """
+        if self.speculation is not None:
+            return self._step_speculative()
         n_done = len(self._finished)
         self._record_rows(range(len(self._states)))
-        if self._manager is None and len(self.scheduler):
-            # Build the store before the first admission so memory-aware
-            # admission sees real page counts from the very first request.
-            self._build_manager(self.scheduler.pending[0].policy)
-        tokens_in_flight = sum(st.request.token_budget for st in self._states)
-        admitted = self.scheduler.admit(
-            len(self._states),
-            tokens_in_flight,
-            store=self._manager.store if self._manager is not None else None,
-            registry=self._manager.registry if self._manager is not None else None,
-        )
-        joined: list[RequestState] = []
-        for i, state in enumerate(admitted):
-            if self._prefill(state):
-                joined.append(state)
-                continue
-            # The join ran out of pages (a victim was preempted).  Requeue
-            # this request and every younger admission behind it, in order —
-            # letting the younger ones jump in now would break the
-            # head-of-line FCFS contract.
-            self.scheduler.requeue_many(admitted[i:])
-            break
-        if not self._states and not joined and len(self.scheduler):
-            # Nothing running, nothing admitted, queue non-empty: the pool is
-            # as free as it will ever get, so the head request can never fit.
-            head = self.scheduler.pending[0]
-            raise PoolExhausted(
-                f"request {head.request_id} (prompt {head.request.prompt_len} "
-                f"tokens) cannot be admitted even into an idle pool — raise "
-                "max_pool_tokens or lower the scheduler watermark"
-            )
+        joined = self._admit_and_prefill()
         if joined:
             # Identify rows by state (a failed admission may have preempted
             # and therefore moved rows): record each joined request's first
@@ -289,6 +334,198 @@ class ContinuousBatchingEngine:
         while self.has_work:
             self.step()
         return self._finished[n_done:]
+
+    def _admit_and_prefill(self) -> list[RequestState]:
+        """Admit queued requests in FCFS order and prefill them.
+
+        Builds the store before the first admission so memory-aware
+        admission sees real page counts from the very first request.  A
+        failed join (the pool could not be funded; a victim was preempted)
+        requeues the failing request and every younger admission behind it,
+        in order — letting the younger ones jump in would break the
+        head-of-line FCFS contract.  When nothing is running, nothing could
+        join and the queue is non-empty, the pool is as free as it will ever
+        get and the head request can never fit, so this raises
+        :class:`PoolExhausted`.  Returns the requests that joined.
+        """
+        if self._manager is None and len(self.scheduler):
+            self._build_manager(self.scheduler.pending[0].policy)
+        tokens_in_flight = sum(st.request.token_budget for st in self._states)
+        admitted = self.scheduler.admit(
+            len(self._states),
+            tokens_in_flight,
+            store=self._manager.store if self._manager is not None else None,
+            registry=self._manager.registry if self._manager is not None else None,
+        )
+        joined: list[RequestState] = []
+        for i, state in enumerate(admitted):
+            if self._prefill(state):
+                joined.append(state)
+                continue
+            self.scheduler.requeue_many(admitted[i:])
+            break
+        if not self._states and not joined and len(self.scheduler):
+            head = self.scheduler.pending[0]
+            raise PoolExhausted(
+                f"request {head.request_id} (prompt {head.request.prompt_len} "
+                f"tokens) cannot be admitted even into an idle pool — raise "
+                "max_pool_tokens or lower the scheduler watermark"
+            )
+        return joined
+
+    # ------------------------------------------------------------------
+    # speculative stepping
+    # ------------------------------------------------------------------
+    def _step_speculative(self) -> list[RequestState]:
+        """One engine step in speculation mode.
+
+        Admission and prefill are shared with the vanilla path; the decode
+        half runs one draft-then-verify round per running request instead of
+        one batched token.  Rows are processed newest-first so that a
+        retirement's persistent-batch move (last row into the freed slot)
+        only ever touches rows already handled this step.
+        """
+        n_done = len(self._finished)
+        joined_ids = set(map(id, self._admit_and_prefill()))
+        # Record each joined request's first sampled token (vanilla defers
+        # this to the next step's bookkeeping; speculation records inline).
+        for row in range(len(self._states) - 1, -1, -1):
+            state = self._states[row]
+            if id(state) in joined_ids:
+                joined_ids.discard(id(state))
+                # Context drafters must see the first token too, or every
+                # later n-gram lookup spans a history with a hole at the
+                # prompt/generation seam.
+                drafter, _ = self._spec[state.request_id]
+                drafter.note_committed([state.pending_token])
+                self._spec_commit(row, [(state.pending_token, state.pending_logprob)])
+        processed: set[int] = set()
+        for row in range(len(self._states) - 1, -1, -1):
+            if row >= len(self._states):
+                continue  # preemption shrank the batch mid-sweep
+            state = self._states[row]
+            if id(state) in processed:
+                continue
+            processed.add(id(state))
+            self._spec_round(row)
+        return self._finished[n_done:]
+
+    def _spec_round(self, row: int) -> None:
+        """One draft-then-verify round for one running row.
+
+        Under fixed pools the round first preempts newest-admitted rows until
+        the store can fund the transient draft block; a mid-round
+        ``PoolExhausted`` (the watermark under-estimated) rolls the drafter
+        back to the round start and preempts — the row simply retries next
+        step, so pressure changes *when* it finishes, never *what* it emits.
+        A lone request with nothing to preempt swaps its drafter for the
+        page-free n-gram fallback instead.
+        """
+        state = self._states[row]
+        drafter, stats = self._spec[state.request_id]
+        store = self._manager.store
+        if not store.growable:
+            need = store.pages_for_tokens(self.speculation.k + 1) + 1
+            while store.min_free_pages() < need and len(self._states) > 1:
+                self._preempt_newest()
+                if all(st is not state for st in self._states):
+                    return  # this row was the preemption victim
+            row = next(i for i, st in enumerate(self._states) if st is state)
+        remaining = state.request.max_new_tokens - len(state.tokens)
+        target = BatchedRowVerifyTarget(self.model, self._manager, row)
+        try:
+            commits = run_round(
+                target,
+                drafter,
+                state.tokens[-1],
+                self.speculation.k,
+                remaining,
+                state.request.eos_token_id,
+                stats,
+            )
+        except PoolExhausted:
+            drafter.abort_round()
+            if len(self._states) > 1:
+                self._preempt_newest()
+                return
+            # Lone request with nothing to preempt: drop the page-holding
+            # drafter and fall back to model-free n-gram drafting.  Its
+            # pages return to the pool, and the verify path alone fits any
+            # request submit() accepted — progress is guaranteed, and by the
+            # verification contract the output is unchanged.
+            carried_steps = drafter.draft_steps
+            self._release_spec(state)
+            fallback = NgramDrafter(state.request.prompt_ids[0], self.speculation)
+            fallback.note_committed(state.tokens)
+            fallback.draft_steps = carried_steps
+            self._spec[state.request_id] = (fallback, stats)
+            return
+        self._spec_commit(row, commits)
+
+    def _spec_commit(self, row: int, commits: list[tuple[int, float]]) -> bool:
+        """Record committed ``(token, logprob)`` pairs; retire on EOS/budget.
+
+        Returns ``True`` when the row retired.  ``run_round`` already clips
+        the commits at EOS and at the remaining budget, so the checks here
+        fire on the final committed token only.
+        """
+        state = self._states[row]
+        finish: FinishReason | None = None
+        for token, logprob in commits:
+            state.tokens.append(int(token))
+            state.total_logprob += logprob
+            eos = state.request.eos_token_id
+            if eos is not None and token == eos:
+                finish = FinishReason.EOS
+                break
+            if len(state.tokens) >= state.request.max_new_tokens:
+                finish = FinishReason.LENGTH
+                break
+        if finish is not None:
+            self._retire(row, finish)
+            return True
+        return False
+
+    def _build_drafter(self, state: RequestState, row: int) -> Drafter:
+        """Construct the per-request drafter right after its prefill joined."""
+        spec = self.speculation
+        if spec.drafter == "ngram":
+            return NgramDrafter(state.request.prompt_ids[0], spec)
+        policy = make_drafter_policy(spec)
+        if spec.drafter_model is not None:
+            return PolicyDrafter.seed_from_prompt(
+                spec.drafter_model,
+                policy,
+                state.request.prompt_ids,
+                state.request.max_new_tokens,
+                positional_mode=self._manager.positional_mode,
+            )
+        # Self-drafting: the drafter's page tables live in the engine's own
+        # store, seeded by mapping the freshly joined row's prompt pages.
+        return PolicyDrafter.seed_mapped(
+            self.model,
+            policy,
+            self._manager.store,
+            [[cache.tables[row]] for cache in self._manager.caches],
+            self._last_prompt_attn,
+            self._last_prompt_scores,
+            state.request.max_new_tokens,
+            positional_mode=self._manager.positional_mode,
+        )
+
+    @property
+    def speculation_stats(self) -> SpeculationStats:
+        """Aggregate draft/verify telemetry over finished *and* running
+        requests (spec mode; zeros otherwise)."""
+        total = SpeculationStats()
+        total.merge(self._spec_discarded)
+        for state in self._finished:
+            if state.speculation:
+                total.merge(SpeculationStats.from_summary(state.speculation))
+        for drafter, stats in self._spec.values():
+            stats.draft_steps = drafter.draft_steps
+            total.merge(stats)
+        return total
 
     # ------------------------------------------------------------------
     # phases
@@ -316,7 +553,11 @@ class ContinuousBatchingEngine:
         prompt = state.request.prompt_ids
         prompt_len = state.request.prompt_len
         match = None
-        if self.enable_prefix_sharing and not state.policy.needs_prompt_attention:
+        if (
+            self.enable_prefix_sharing
+            and not state.policy.needs_prompt_attention
+            and not self._spec_blocks_sharing
+        ):
             # The chunked projections are only row-stable for suffixes of two
             # or more tokens, so always recompute at least the last two.
             match = self._manager.registry.match(prompt[0], max_tokens=prompt_len - 2)
@@ -328,6 +569,18 @@ class ContinuousBatchingEngine:
             else:
                 row, next_row = self._prefill_full(state)
                 computed = prompt_len
+            if self.speculation is not None:
+                # The drafter seeds against the just-joined row (mapping its
+                # prompt pages for self-drafting); a failed seed must not
+                # leak the row, so unwind it before taking the preempt path.
+                try:
+                    self._spec[state.request_id] = (
+                        self._build_drafter(state, row),
+                        SpeculationStats(),
+                    )
+                except PoolExhausted:
+                    self._manager.release_row(row)
+                    raise
         except PoolExhausted:
             # The watermark under-estimated (e.g. concurrent COW growth).
             # Free pages by preempting the newest running request; the caller
@@ -337,19 +590,35 @@ class ContinuousBatchingEngine:
                 raise  # nothing to preempt — the pool simply cannot fit it
             self._preempt_newest()
             return False
+        finally:
+            # The prompt-attention tensors are only needed between prefill
+            # and drafter seeding; holding the dense (1, H, T, T) arrays any
+            # longer would pin O(n_layers * T^2) memory per engine.
+            self._last_prompt_attn = None
+            self._last_prompt_scores = None
         self.prefill_prompt_tokens += prompt_len
         self.prefill_computed_tokens += computed
         assert row == len(self._states), "engine rows out of sync with cache rows"
 
-        if self._next_logits is None or not self._states:
-            self._next_logits = next_row
+        if self.speculation is not None:
+            # Speculation records tokens inline (rows advance unevenly), so
+            # no per-row logits are carried between steps — keep the pending
+            # token's log-probability on the state instead.
+            state.pending_token = int(state.sampler(next_row)[0])
+            state.pending_logprob = float(
+                log_softmax(next_row, axis=-1)[0, state.pending_token]
+            )
+            self._states.append(state)
         else:
-            self._next_logits = np.concatenate([self._next_logits, next_row])
-        self._states.append(state)
+            if self._next_logits is None or not self._states:
+                self._next_logits = next_row
+            else:
+                self._next_logits = np.concatenate([self._next_logits, next_row])
+            self._states.append(state)
+            state.pending_token = int(state.sampler(next_row)[0])
         state.status = RequestStatus.RUNNING
         state.admitted_seq = self._admit_seq
         self._admit_seq += 1
-        state.pending_token = int(state.sampler(next_row)[0])
         return True
 
     def _prefill_full(self, state: RequestState) -> tuple[int, np.ndarray]:
@@ -362,6 +631,8 @@ class ContinuousBatchingEngine:
             prompt_kv.append(block.attn.last_kv)
             prompt_attn.append(block.attn.last_attention)
             prompt_scores.append(block.attn.last_scores)
+        self._last_prompt_attn = prompt_attn
+        self._last_prompt_scores = prompt_scores
         row = self._manager.join(
             prompt_kv,
             prompt_attn,
@@ -394,6 +665,8 @@ class ContinuousBatchingEngine:
             np.zeros(1, dtype=self.model.config.np_dtype),
             (1, h, prompt_len, prompt_len),
         )
+        self._last_prompt_attn = [dummy] * self._manager.n_layers
+        self._last_prompt_scores = [dummy] * self._manager.n_layers
         row = self._manager.join(
             suffix_kv,
             [dummy] * self._manager.n_layers,
@@ -446,10 +719,25 @@ class ContinuousBatchingEngine:
         last = len(self._states) - 1
         if row != last:
             self._states[row] = self._states[last]
-            self._next_logits[row] = self._next_logits[last]
+            if self._next_logits is not None:
+                self._next_logits[row] = self._next_logits[last]
         self._states.pop()
-        self._next_logits = self._next_logits[:last]
+        if self._next_logits is not None:
+            self._next_logits = self._next_logits[:last]
         return state
+
+    def _release_spec(self, state: RequestState, record: bool = False) -> None:
+        """Tear down a request's drafter (retire/preempt/abort in spec mode)."""
+        spec = self._spec.pop(state.request_id, None)
+        if spec is None:
+            return
+        drafter, stats = spec
+        stats.draft_steps = drafter.draft_steps
+        if record:
+            state.speculation = stats.summary()
+        else:
+            self._spec_discarded.merge(stats)
+        drafter.release()
 
     def _retire(self, row: int, reason: FinishReason) -> None:
         state = self._states[row]
@@ -457,6 +745,7 @@ class ContinuousBatchingEngine:
         state.status = RequestStatus.FINISHED
         state.pending_token = None
         state.n_steps = self._manager.generation_step[row]
+        self._release_spec(state, record=True)
         state.cache_stats = self._manager.retire(row)
         self._drop_row(row)
         self._finished.append(state)
@@ -473,6 +762,7 @@ class ContinuousBatchingEngine:
         row = max(
             range(len(self._states)), key=lambda r: self._states[r].admitted_seq
         )
+        self._release_spec(self._states[row])
         self._manager.release_row(row)
         state = self._drop_row(row)
         state.reset_for_requeue()
@@ -572,6 +862,7 @@ class BatchedGenerator:
         page_size: int = DEFAULT_PAGE_SIZE,
         max_pool_tokens: int | None = None,
         enable_prefix_sharing: bool = True,
+        speculation: SpeculationConfig | None = None,
     ):
         self.model = model
         self.policy_factory = policy_factory or FullAttentionPolicy
@@ -581,6 +872,7 @@ class BatchedGenerator:
         self.page_size = page_size
         self.max_pool_tokens = max_pool_tokens
         self.enable_prefix_sharing = enable_prefix_sharing
+        self.speculation = speculation
 
     def _engine(self) -> ContinuousBatchingEngine:
         return ContinuousBatchingEngine(
@@ -592,6 +884,7 @@ class BatchedGenerator:
             page_size=self.page_size,
             max_pool_tokens=self.max_pool_tokens,
             enable_prefix_sharing=self.enable_prefix_sharing,
+            speculation=self.speculation,
         )
 
     # ------------------------------------------------------------------

@@ -58,6 +58,7 @@ class Request:
 
     @property
     def prompt_len(self) -> int:
+        """Number of prompt tokens."""
         return int(self.prompt_ids.shape[1])
 
     @property
@@ -118,13 +119,20 @@ class RequestState:
     #: Engine-internal admission sequence number (newest admitted is the
     #: preemption victim, preserving FCFS completion order).
     admitted_seq: int = -1
+    #: Log-probability of :attr:`pending_token` (speculation mode records
+    #: tokens inline instead of deferring to the next engine step).
+    pending_logprob: float = 0.0
+    #: Draft/verify telemetry when the engine ran this request speculatively.
+    speculation: dict = field(default_factory=dict)
 
     @property
     def request_id(self) -> int:
+        """The wrapped request's id."""
         return self.request.request_id
 
     @property
     def finished(self) -> bool:
+        """True once the request retired (EOS, budget or abort)."""
         return self.status is RequestStatus.FINISHED
 
     def reset_for_requeue(self) -> None:
@@ -139,6 +147,8 @@ class RequestState:
         self.total_logprob = 0.0
         self.step = 0
         self.pending_token = None
+        self.pending_logprob = 0.0
+        self.speculation = {}
         self.status = RequestStatus.QUEUED
         self.cache_stats = None
         self.n_steps = 0
@@ -162,4 +172,5 @@ class RequestState:
             policy=self.policy.describe(),
             n_steps=self.n_steps,
             log_probs=[float(self.total_logprob)],
+            speculation=dict(self.speculation),
         )

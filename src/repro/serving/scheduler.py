@@ -179,6 +179,9 @@ class PagedScheduler(FCFSScheduler):
         store: "PagedKVStore | None" = None,
         registry: "PrefixRegistry | None" = None,
     ) -> list[RequestState]:
+        """Pop queued requests whose prompt pages fit the tightest layer
+        pool above the watermark (see the class docstring); falls back to
+        the token-budget rule while the store is still growable."""
         admitted: list[RequestState] = []
         reserved = 0  # pages already claimed by earlier admissions this call
         while self._queue:

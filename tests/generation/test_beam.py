@@ -77,3 +77,31 @@ class TestBeamSearch:
         for hypothesis in result.hypotheses:
             expected = hypothesis.raw_score / max(len(hypothesis.tokens), 1) ** 2.0
             np.testing.assert_allclose(hypothesis.normalized_score, expected, atol=1e-12)
+
+    def test_single_token_budget_returns_top_first_tokens(self, tiny_rope_model, rng):
+        """max_new_tokens=1: hypotheses are the beam_size best first tokens,
+        scored by their prompt-logits log-probabilities (no decode step)."""
+        prompt = rng.integers(0, 64, size=10)
+        result = BeamSearch(tiny_rope_model, make_policy("full")).search(
+            prompt, GenerationConfig(max_new_tokens=1, beam_size=3)
+        )
+        assert result.n_steps == 0
+        assert all(len(h.tokens) == 1 for h in result.hypotheses)
+        logits = tiny_rope_model(np.asarray(prompt)[None, :])[0, -1]
+        expected_best = int(np.argmax(logits))
+        assert result.best.tokens == [expected_best]
+
+    def test_eos_as_best_first_token_finishes_immediately(self, tiny_rope_model, rng):
+        """EOS at the very first position must yield a finished one-token
+        hypothesis instead of decoding past it (the speculative drafter's
+        EOS-at-first-draft case leans on the same convention)."""
+        prompt = rng.integers(0, 64, size=10)
+        logits = tiny_rope_model(np.asarray(prompt)[None, :])[0, -1]
+        eos = int(np.argmax(logits))
+        result = BeamSearch(tiny_rope_model, make_policy("full")).search(
+            prompt, GenerationConfig(max_new_tokens=6, beam_size=2, eos_token_id=eos)
+        )
+        assert [eos] in [h.tokens for h in result.hypotheses]
+        assert all(
+            h.tokens.count(eos) == 0 or h.tokens[-1] == eos for h in result.hypotheses
+        )

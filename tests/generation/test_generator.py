@@ -55,6 +55,31 @@ class TestGenerationBehaviour:
         assert len(result.sequences[0]) == 7
         assert result.n_steps == 6  # final token is not fed back
 
+    def test_single_token_budget(self, tiny_rope_model, rng):
+        """max_new_tokens=1 emits exactly the argmax of the prompt logits,
+        with its log-probability and zero decode steps."""
+        prompt = rng.integers(0, 64, size=12)
+        generator = Generator(tiny_rope_model, make_policy("full"))
+        result = generator.generate(prompt, GenerationConfig(max_new_tokens=1))
+        logits = tiny_rope_model(np.asarray(prompt)[None, :])[0, -1]
+        assert result.sequences[0] == [int(np.argmax(logits))]
+        assert result.n_steps == 0
+        expected = float(log_softmax(logits[None], axis=-1)[0, int(np.argmax(logits))])
+        np.testing.assert_allclose(result.log_probs[0], expected, rtol=0, atol=0)
+
+    def test_eos_as_first_token(self, tiny_rope_model, rng):
+        """An immediate EOS is recorded (with its log-probability) and stops
+        generation before any decode step."""
+        prompt = rng.integers(0, 64, size=12)
+        logits = tiny_rope_model(np.asarray(prompt)[None, :])[0, -1]
+        eos = int(np.argmax(logits))
+        generator = Generator(tiny_rope_model, make_policy("full"))
+        result = generator.generate(
+            prompt, GenerationConfig(max_new_tokens=10, eos_token_id=eos)
+        )
+        assert result.sequences[0] == [eos]
+        assert result.n_steps == 0
+
     def test_eos_stops_early(self, tiny_rope_model, rng):
         generator = Generator(tiny_rope_model, make_policy("full"))
         prompt = rng.integers(0, 64, size=12)

@@ -48,3 +48,29 @@ class TestFactory:
     def test_randomness_requested(self):
         assert isinstance(make_sampler(top_k=5), TopKSampler)
         assert isinstance(make_sampler(temperature=0.7), TopKSampler)
+
+    def test_temperature_zero_is_greedy(self):
+        """Temperature 0 is the conventional spelling of argmax decoding —
+        the speculative engine's greedy-only check relies on it mapping to
+        GreedySampler instead of raising."""
+        assert isinstance(make_sampler(temperature=0.0), GreedySampler)
+        assert isinstance(make_sampler(temperature=0.0, top_k=7), GreedySampler)
+
+    def test_direct_topk_still_rejects_zero_temperature(self):
+        # Only the factory interprets 0 as greedy; the sampler itself would
+        # divide by it.
+        with pytest.raises(ValueError):
+            TopKSampler(temperature=0.0)
+
+
+class TestTopKOne:
+    def test_top_k_one_is_deterministic_argmax(self):
+        logits = np.random.default_rng(2).normal(size=(1, 32))
+        sampler = TopKSampler(top_k=1, seed=0)
+        expected = int(np.argmax(logits))
+        assert all(int(sampler(logits)[0]) == expected for _ in range(20))
+
+    def test_top_k_one_batched_rows(self):
+        logits = np.random.default_rng(3).normal(size=(4, 16))
+        sampler = TopKSampler(top_k=1, seed=0)
+        np.testing.assert_array_equal(sampler(logits), np.argmax(logits, axis=-1))

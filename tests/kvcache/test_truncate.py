@@ -1,0 +1,151 @@
+"""Rollback primitives: pool truncate, table forking, mapped seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kvcache.cache import LayerKVCache
+from repro.kvcache.paged import BlockPool, PageTable
+
+
+def _pool(**kwargs):
+    defaults = dict(n_heads=2, d_head=4, page_size=4, n_pages=16, rope_dims=0)
+    defaults.update(kwargs)
+    return BlockPool(**defaults)
+
+
+def _seed(pool, n_tokens, value=1.0):
+    table = PageTable()
+    keys = np.full((pool.n_heads, n_tokens, pool.d_head), value)
+    positions = np.broadcast_to(np.arange(n_tokens), (pool.n_heads, n_tokens))
+    pool.extend(table, keys, keys.copy(), positions)
+    return table
+
+
+class TestPoolTruncate:
+    def test_truncate_frees_trailing_pages(self):
+        pool = _pool()
+        table = _seed(pool, 10)  # 3 pages (4+4+2)
+        free_before = pool.free_pages
+        pool.truncate(table, 5)
+        assert table.length == 5
+        assert len(table.pages) == 2
+        assert pool.free_pages == free_before + 1
+
+    def test_truncate_within_page_keeps_it(self):
+        pool = _pool()
+        table = _seed(pool, 8)
+        pool.truncate(table, 1)
+        assert table.length == 7
+        assert len(table.pages) == 2
+
+    def test_truncate_to_zero_releases_table(self):
+        pool = _pool()
+        table = _seed(pool, 6)
+        pool.truncate(table, 6)
+        assert table.length == 0 and table.pages == [] and table.offset == 0
+        assert pool.used_pages == 0
+
+    def test_truncate_respects_offset(self):
+        pool = _pool()
+        table = _seed(pool, 12)
+        # Suffix-evict 5 tokens: offset bumps to 1 after freeing one page.
+        keep = np.broadcast_to(np.arange(5, 12), (pool.n_heads, 7))
+        pool.gather(table, keep)
+        assert table.offset == 1
+        pool.truncate(table, 4)
+        assert table.length == 3
+        assert len(table.pages) == 1
+
+    def test_truncate_shared_page_only_drops_refcount(self):
+        pool = _pool()
+        table = _seed(pool, 8)
+        clone = table.clone()
+        pool.retain(clone.pages)
+        pool.truncate(table, 8)
+        # The clone still owns the pages; nothing came free.
+        assert pool.used_pages == 2
+        assert (pool.refcounts[clone.pages] == 1).all()
+
+    def test_truncate_overshoot_raises(self):
+        pool = _pool()
+        table = _seed(pool, 4)
+        with pytest.raises(ValueError):
+            pool.truncate(table, 5)
+
+    def test_append_after_truncate_overwrites(self):
+        pool = _pool(rope_dims=4)
+        table = _seed(pool, 6, value=1.0)
+        pool.truncate(table, 2)
+        pool.append(table, np.full((2, 4), 9.0), np.full((2, 4), 9.0), position=4)
+        keys = pool.keys_view(table)
+        assert table.length == 5
+        np.testing.assert_array_equal(keys[:, -1], np.full((2, 4), 9.0))
+        np.testing.assert_array_equal(pool.positions_view(table)[:, -1], [4, 4])
+
+
+class TestForkRestore:
+    def _cache(self, n_tokens=10):
+        keys = np.arange(2 * n_tokens * 4, dtype=np.float64).reshape(1, 2, n_tokens, 4)
+        return LayerKVCache.from_prompt(keys, keys.copy(), page_size=4)
+
+    def test_fork_restore_roundtrip(self):
+        cache = self._cache()
+        snapshot = cache.fork_tables()
+        before = cache.keys.copy()
+        cache.append(np.full((1, 2, 4), 5.0), np.full((1, 2, 4), 5.0), position=10)
+        cache.gather(np.arange(4, 11))
+        cache.restore_tables(snapshot)
+        np.testing.assert_array_equal(cache.keys, before)
+        assert cache.length == 10
+
+    def test_fork_protects_pages_from_in_place_eviction(self):
+        cache = self._cache()
+        snapshot = cache.fork_tables()
+        before = cache.keys.copy()
+        # A scattered eviction would normally compact in place; the forked
+        # tables share the pages, so copy-on-write must route it elsewhere.
+        cache.gather(np.asarray([0, 2, 4, 6, 8]))
+        cache.restore_tables(snapshot)
+        np.testing.assert_array_equal(cache.keys, before)
+
+    def test_discard_returns_pages(self):
+        cache = self._cache()
+        used = cache.pool.used_pages
+        snapshot = cache.fork_tables()
+        cache.discard_tables(snapshot)
+        assert cache.pool.used_pages == used
+
+    def test_restore_wrong_rows_raises(self):
+        cache = self._cache()
+        with pytest.raises(ValueError):
+            cache.restore_tables([])
+
+
+class TestMapTables:
+    def test_mapped_cache_shares_pages_until_divergence(self):
+        pool = _pool()
+        source = _seed(pool, 8)
+        mapped = LayerKVCache.map_tables(pool, [source])
+        assert mapped.tables[0].pages == source.pages
+        assert (pool.refcounts[source.pages] == 2).all()
+        np.testing.assert_array_equal(mapped.keys[0], pool.keys_view(source))
+        # Divergent write: the mapped cache appends, copy-on-write splits.
+        mapped.append(np.zeros((1, 2, 4)), np.zeros((1, 2, 4)), position=8)
+        source_view = pool.keys_view(source).copy()
+        mapped.gather(np.asarray([0, 1, 2, 3]))
+        np.testing.assert_array_equal(pool.keys_view(source), source_view)
+
+    def test_map_tables_trims_reserve_pages(self):
+        pool = _pool()
+        table = PageTable()
+        keys = np.zeros((2, 6, 4))
+        positions = np.broadcast_to(np.arange(6), (2, 6))
+        pool.extend(table, keys, keys.copy(), positions, reserve_tokens=20)
+        assert len(table.pages) == 5  # 6 live tokens + reserve
+        mapped = LayerKVCache.map_tables(pool, [table])
+        # Only the pages covering live tokens are mapped: the source's
+        # reserve tail stays exclusively its own (in-place appends, no COW).
+        assert len(mapped.tables[0].pages) == 2
+        assert pool.refcounts[table.pages[2]] == 1

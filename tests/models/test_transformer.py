@@ -44,7 +44,9 @@ class TestModelConfig:
         with pytest.raises(ValueError):
             GenerationConfig(beam_size=0)
         with pytest.raises(ValueError):
-            GenerationConfig(temperature=0.0)
+            GenerationConfig(temperature=-0.1)
+        # Temperature 0 is valid and means greedy decoding.
+        assert GenerationConfig(temperature=0.0).temperature == 0.0
 
 
 class TestForward:

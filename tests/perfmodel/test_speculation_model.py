@@ -1,0 +1,67 @@
+"""Tests for the analytical speculative-decoding speedup model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perfmodel.speculation import SpeculationModel, expected_tokens_per_round
+
+
+class TestExpectedTokens:
+    def test_zero_acceptance_commits_one(self):
+        assert expected_tokens_per_round(0.0, 8) == 1.0
+
+    def test_perfect_acceptance_commits_k_plus_one(self):
+        assert expected_tokens_per_round(1.0, 8) == 9.0
+
+    def test_geometric_formula(self):
+        # alpha=0.5, k=2: 1 + 0.5 + 0.25 = 1.75
+        assert expected_tokens_per_round(0.5, 2) == pytest.approx(1.75)
+
+    def test_monotone_in_alpha_and_k(self):
+        values = [expected_tokens_per_round(a / 10, 4) for a in range(11)]
+        assert values == sorted(values)
+        values = [expected_tokens_per_round(0.8, k) for k in range(0, 8)]
+        assert values == sorted(values)
+
+    def test_clamps_alpha(self):
+        assert expected_tokens_per_round(1.5, 4) == 5.0
+        assert expected_tokens_per_round(-0.2, 4) == 1.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            expected_tokens_per_round(0.5, -1)
+
+
+class TestSpeculationModel:
+    def test_free_drafter_with_perfect_acceptance_speeds_up(self):
+        model = SpeculationModel.ngram()
+        assert model.speedup(1.0, 8) > 1.5
+
+    def test_expensive_drafter_cannot_win(self):
+        # Drafter as costly as the target (the dispatch-bound self-draft
+        # regime): even perfect acceptance loses to vanilla decode.
+        model = SpeculationModel(draft_cost=1.0, verify_base=0.4, verify_per_token=0.6)
+        assert model.speedup(1.0, 4) < 1.0
+        assert model.breakeven_alpha(4) == 1.0
+
+    def test_breakeven_is_monotone_boundary(self):
+        model = SpeculationModel.ngram()
+        alpha = model.breakeven_alpha(4)
+        assert model.speedup(alpha, 4) >= 1.0
+        if alpha > 0:
+            assert model.speedup(alpha - 0.05, 4) < model.speedup(alpha, 4)
+
+    def test_optimal_k_grows_with_acceptance(self):
+        model = SpeculationModel.ngram()
+        assert model.optimal_k(0.99, max_k=16) >= model.optimal_k(0.5, max_k=16)
+
+    def test_self_draft_cost_scales_with_budget(self):
+        cheap = SpeculationModel.self_draft(budget=64, context=1024)
+        costly = SpeculationModel.self_draft(budget=1024, context=1024)
+        assert cheap.draft_cost < costly.draft_cost
+        assert costly.draft_cost == pytest.approx(1.0)
+
+    def test_self_draft_validates_geometry(self):
+        with pytest.raises(ValueError):
+            SpeculationModel.self_draft(budget=0, context=1024)
