@@ -36,11 +36,11 @@ lint:
 	ruff format --check .
 
 # The CI docs job: every docs page reachable from README with no dead links,
-# plus pydocstyle (ruff D) docstring rules on the serving and speculative
-# subsystems so the newest code stays documented.
+# plus pydocstyle (ruff D) docstring rules on the kvcache, serving and
+# speculative subsystems so the newest code stays documented.
 docs-check:
 	$(PYTHON) tools/check_docs.py
-	ruff check --select D100,D101,D102,D103,D104,D419 src/repro/speculative src/repro/serving
+	ruff check --select D100,D101,D102,D103,D104,D419 src/repro/kvcache src/repro/speculative src/repro/serving
 
 serve-demo:
 	$(PYTHON) examples/serving_demo.py

@@ -65,6 +65,14 @@ SHARED_PREFIX_LEN = 512
 SHARED_SUFFIX_LEN = 32
 SHARED_DECODE_TOKENS = 8
 
+# Quantized-KV geometry: the serving model at 1k context under a fixed
+# page-pool byte budget.  The concurrency/bytes components are *deterministic*
+# (pure byte accounting — identical on every machine), so they are pinned as
+# dimensionless "speedup" ratios and gated exactly by check_regression.py;
+# the accuracy components are informational (no min_s/speedup key).
+QUANT_CONTEXT = 1024
+QUANT_POOL_BUDGET = 32 * 1024 * 1024  # bytes, per engine
+
 # Speculative-decoding geometry: 1k context, draft length 8, the n-gram
 # (prompt-lookup) drafter — drafting is model-free, so the speedup comes
 # purely from the multi-token verify pass amortizing per-step work.  The
@@ -364,6 +372,129 @@ def bench_shared_prefix(rounds: int) -> dict[str, dict]:
 
 
 # ----------------------------------------------------------------------
+# quantized KV pages: memory ratios (gated) + accuracy delta (reported)
+# ----------------------------------------------------------------------
+def bench_quantized_kv() -> dict[str, dict]:
+    """Memory win and accuracy cost of ``kv_dtype="int8"`` at 1k context.
+
+    Deterministic, gated components (exact on every machine):
+
+    * ``quant_kv_bytes_ratio_*`` — resident KV bytes/token of the
+      full-precision store divided by the int8 store's, both *measured* from
+      live pools holding a 1k-token sequence (acceptance floor: >= 1/0.55x).
+    * ``quant_concurrency_ratio_*`` — resident tokens (hence concurrent
+      sequences of a fixed per-request budget) a ``QUANT_POOL_BUDGET``-byte
+      engine pool funds with int8 pages vs full-precision pages
+      (acceptance floor: >= 2x).
+
+    Informational components: greedy int8-vs-full-precision decode agreement,
+    per-token
+    log-probability MSE, final-step logit MSE and ROUGE-1/L of the generated
+    sequences (the fig13 metric applied to the quantization delta), under
+    both full attention and a Keyformer-evicted cache.
+    """
+    from repro.kvcache.batch import BatchedCacheManager
+    from repro.metrics.rouge import rouge_l, rouge_n
+    from repro.models.tensor_ops import log_softmax
+
+    model = _serve_model()
+    config = model.config
+    prompt = np.random.default_rng(17).integers(
+        0, 256, size=(1, QUANT_CONTEXT)
+    ).astype(np.int64)
+
+    # Measured bytes/token: seed the same 1k-token sequence into both stores.
+    bytes_used = {}
+    for kv_dtype in (None, "int8"):
+        manager = BatchedCacheManager(
+            n_layers=config.n_layers,
+            n_heads=config.n_heads,
+            d_head=config.d_head,
+            max_batch=1,
+            dtype=config.np_dtype,
+            rope_dims=config.rope_dims,
+            kv_dtype=kv_dtype,
+        )
+        rng = np.random.default_rng(3)
+        keys = rng.normal(size=(1, config.n_heads, QUANT_CONTEXT, config.d_head))
+        pos = np.broadcast_to(
+            np.arange(QUANT_CONTEXT), (1, config.n_heads, QUANT_CONTEXT)
+        )
+        for cache in manager.caches:
+            cache.join_row(0, keys, keys, pos)
+        bytes_used[kv_dtype] = manager.pool_usage()["bytes_used"]
+    bytes_ratio = bytes_used[None] / bytes_used["int8"]
+
+    # Engine-level capacity under one fixed byte budget: how many tokens
+    # (and therefore fixed-budget sequences) the pool can hold resident.
+    tokens = {}
+    for kv_dtype in (None, "int8"):
+        engine = ContinuousBatchingEngine(
+            model, max_pool_bytes=QUANT_POOL_BUDGET, kv_dtype=kv_dtype
+        )
+        tokens[kv_dtype] = engine.max_pool_tokens
+    concurrency_ratio = tokens["int8"] / tokens[None]
+
+    # Accuracy delta: greedy full-precision vs int8 generation, same prompt.
+    accuracy = {}
+    for policy_name in ("full", "keyformer"):
+        results = {}
+        logits_final = {}
+        for kv_dtype in (None, "int8"):
+            if policy_name == "keyformer":
+                policy = make_policy("keyformer", kv_fraction=0.5)
+            else:
+                policy = make_policy(policy_name)
+            generator = Generator(model, policy, kv_dtype=kv_dtype)
+            logits, manager = generator._prompt_forward(prompt, DECODE_TOKENS)
+            views = manager.layer_views()
+            toks, logprobs = [], []
+            step_logits = logits[:, -1, :]
+            for _ in range(DECODE_TOKENS):
+                token = int(np.argmax(step_logits[0]))
+                toks.append(token)
+                logprobs.append(float(log_softmax(step_logits, axis=-1)[0, token]))
+                step_logits = model.decode_step(
+                    np.asarray([token]), manager.current_position, views
+                )
+                manager.advance()
+            results[kv_dtype] = (toks, np.asarray(logprobs))
+            logits_final[kv_dtype] = step_logits[0]
+        ref_tokens, ref_lp = results[None]
+        q_tokens, q_lp = results["int8"]
+        ref_text = " ".join(map(str, ref_tokens))
+        q_text = " ".join(map(str, q_tokens))
+        accuracy[policy_name] = {
+            "token_agreement": float(np.mean(np.asarray(ref_tokens) == q_tokens)),
+            "logprob_mse": float(np.mean((ref_lp - q_lp) ** 2)),
+            "logit_mse": float(
+                np.mean((logits_final[None] - logits_final["int8"]) ** 2)
+            ),
+            "rouge1_f": round(rouge_n(q_text, ref_text, 1).f1, 4),
+            "rougeL_f": round(rouge_l(q_text, ref_text).f1, 4),
+            "tokens": DECODE_TOKENS,
+        }
+
+    return {
+        f"quant_kv_bytes_ratio_{QUANT_CONTEXT}": {
+            "speedup": round(bytes_ratio, 2),
+            "bytes_per_token_native": round(bytes_used[None] / QUANT_CONTEXT, 1),
+            "bytes_per_token_int8": round(bytes_used["int8"] / QUANT_CONTEXT, 1),
+            "rounds": 1,
+        },
+        f"quant_concurrency_ratio_{QUANT_CONTEXT}": {
+            "speedup": round(concurrency_ratio, 2),
+            "pool_budget_bytes": QUANT_POOL_BUDGET,
+            "resident_tokens_native": tokens[None],
+            "resident_tokens_int8": tokens["int8"],
+            "rounds": 1,
+        },
+        f"quant_accuracy_full_{QUANT_CONTEXT}": accuracy["full"],
+        f"quant_accuracy_keyformer_{QUANT_CONTEXT}": accuracy["keyformer"],
+    }
+
+
+# ----------------------------------------------------------------------
 # speculative decoding: draft-then-verify vs vanilla greedy decode
 # ----------------------------------------------------------------------
 def bench_spec_decode(rounds: int) -> dict[str, dict]:
@@ -479,6 +610,10 @@ def run_suite(smoke: bool = False) -> dict:
         components[f"serve_batch{SERVE_BATCH}_{serve_policy}_{SERVE_PROMPT_LEN}"] = batched
         components[f"serve_speedup_{serve_policy}_{SERVE_PROMPT_LEN}"] = speedup
     components.update(bench_shared_prefix(serve_rounds))
+    # Quantized-KV components are deterministic byte accounting plus a fixed
+    # greedy accuracy probe — identical in smoke and full runs, so the CI
+    # gate compares the pinned memory ratios exactly.
+    components.update(bench_quantized_kv())
     # Speculative decoding runs the same 1k geometry in smoke and full modes
     # so the CI gate can compare the pinned speedup ratio by name.
     components.update(bench_spec_decode(3 if smoke else 5))

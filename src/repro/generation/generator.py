@@ -57,10 +57,15 @@ class Generator:
         model: DecoderLM,
         policy: EvictionPolicy | None = None,
         positional_mode: str | None = None,
+        kv_dtype: str | None = None,
     ):
         self.model = model
         self.policy = policy or FullAttentionPolicy()
         self.positional_mode = positional_mode
+        #: KV-page storage format: ``None`` keeps full-precision pages (the
+        #: bit-exact default), ``"int8"`` stores quantized pages — see
+        #: :mod:`repro.kvcache.quant` and ``docs/quantization.md``.
+        self.kv_dtype = kv_dtype
 
     # ------------------------------------------------------------------
     # prompt phase
@@ -87,6 +92,7 @@ class Generator:
             positional_mode=self.positional_mode,
             dtype=config.np_dtype,
             rope_dims=config.rope_dims if config.positional == "rope" else 0,
+            kv_dtype=self.kv_dtype,
         )
         manager.initialize_from_prompt(prompt_kv, prompt_attn, prompt_logits, max_new_tokens)
         return logits, manager

@@ -3,7 +3,9 @@
 Storage is paged: both the solo cache (:class:`LayerKVCache`) and the serving
 batch cache (:class:`BatchedLayerKVCache`) are thin views over per-layer
 :class:`BlockPool` page pools with ref-counted, copy-on-write pages — see
-:mod:`repro.kvcache.paged`.
+:mod:`repro.kvcache.paged`.  A ``kv_dtype="int8"`` knob swaps the pools for
+:class:`QuantizedBlockPool` (int8 pages with per-page/per-head scales, see
+:mod:`repro.kvcache.quant`) without changing any cache-facing API.
 """
 
 from repro.kvcache.batch import BatchedCacheManager, BatchedLayerKVCache, BatchedLayerView
@@ -17,7 +19,9 @@ from repro.kvcache.paged import (
     PoolExhausted,
     PrefixMatch,
     PrefixRegistry,
+    resolve_pool_class,
 )
+from repro.kvcache.quant import QuantizedBlockPool
 from repro.kvcache.stats import CacheStats
 
 __all__ = [
@@ -34,5 +38,7 @@ __all__ = [
     "PoolExhausted",
     "PrefixMatch",
     "PrefixRegistry",
+    "QuantizedBlockPool",
+    "resolve_pool_class",
     "DEFAULT_PAGE_SIZE",
 ]

@@ -115,18 +115,22 @@ class BatchedLayerKVCache:
     # ------------------------------------------------------------------
     @property
     def max_batch(self) -> int:
+        """Number of sequence rows this cache was sized for."""
         return len(self.tables)
 
     @property
     def n_heads(self) -> int:
+        """Attention heads of the backing pool."""
         return self.pool.n_heads
 
     @property
     def d_head(self) -> int:
+        """Per-head feature dimension of the backing pool."""
         return self.pool.d_head
 
     @property
     def page_size(self) -> int:
+        """Tokens per KV page of the backing pool."""
         return self.pool.page_size
 
     @property
@@ -307,14 +311,17 @@ class BatchedLayerView:
         self.layer_idx = layer_idx
 
     def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append one token per active row to this layer."""
         self.manager.append_batch(self.layer_idx, k, v)
 
     def attention_view(
         self,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
+        """Padded ragged-batch attention inputs for this layer."""
         return self.manager.attention_view_batch(self.layer_idx)
 
     def observe(self, logits: np.ndarray, probs: np.ndarray) -> None:
+        """Feed the step's attention tensors to every row's policy."""
         self.manager.observe_batch(self.layer_idx, logits, probs)
 
 
@@ -333,11 +340,13 @@ class RowVerifyView:
         self.row = row
 
     def append_block(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append the draft block's KV to this row in one write."""
         self.manager.append_block_row(self.layer_idx, self.row, k, v)
 
     def verify_view(
         self, n_queries: int
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
+        """Verify-pass attention inputs over this row's cache."""
         return self.manager.verify_view_row(self.layer_idx, self.row, n_queries)
 
 
@@ -358,6 +367,11 @@ class BatchedCacheManager:
         out becomes :class:`~repro.kvcache.paged.PoolExhausted`, which the
         serving engine answers with registry reclamation and preemption.
         When ``None`` (default) pools grow on demand like the solo cache.
+    kv_dtype:
+        Page storage format of the shared store: ``None`` (default) keeps
+        full-precision pages, ``"int8"`` stores quantized pages (see
+        :mod:`repro.kvcache.quant`) — the same fixed byte budget then holds
+        roughly 4x (float32) to 8x (float64) more tokens.
     """
 
     def __init__(
@@ -371,6 +385,7 @@ class BatchedCacheManager:
         rope_dims: int = 0,
         page_size: int = DEFAULT_PAGE_SIZE,
         max_pool_tokens: int | None = None,
+        kv_dtype: str | None = None,
     ):
         if positional_mode not in ("original", "new"):
             raise ValueError(f"unknown positional mode {positional_mode!r}")
@@ -380,6 +395,7 @@ class BatchedCacheManager:
         self.max_batch = max_batch
         self.positional_mode = positional_mode
         self.dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+        self.kv_dtype = kv_dtype
         # Rotated-key caching is only sound for stable original positions —
         # same rule as the single-sequence manager.
         self.rope_dims = int(rope_dims) if positional_mode == "original" else 0
@@ -396,6 +412,7 @@ class BatchedCacheManager:
             rope_dims=self.rope_dims,
             n_pages=n_pages,
             growable=max_pool_tokens is None,
+            kv_dtype=kv_dtype,
         )
         self.registry = PrefixRegistry(self.store)
         self.caches = [
@@ -485,6 +502,7 @@ class BatchedCacheManager:
             batch_size=1,
             prompt_len=prompt_len,
         )
+        stats.kv_token_bytes = self.store.pools[0].kv_token_nbytes()
         stats.total_appended += prompt_len * self.n_layers
         self.policies.append(policy)
         self.stats.append(stats)
@@ -590,6 +608,7 @@ class BatchedCacheManager:
         return self._qpos
 
     def append_batch(self, layer_idx: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Append one token per active row to one layer's cache."""
         self.caches[layer_idx].append_rows(self.n_active, k, v, self.query_positions())
         for stats in self.stats:
             stats.total_appended += 1
@@ -734,7 +753,9 @@ class BatchedCacheManager:
         return [cache.tables[row].length for cache in self.caches]
 
     def pool_usage(self) -> dict:
-        """Aggregate page-pool utilization plus registry occupancy."""
+        """Aggregate page-pool utilization (pages *and* bytes — see
+        :meth:`repro.kvcache.paged.PagedKVStore.usage`) plus registry
+        occupancy."""
         usage = self.store.usage()
         usage["registry_chunks"] = len(self.registry)
         return usage

@@ -35,7 +35,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kvcache.paged import DEFAULT_PAGE_SIZE, BlockPool, PageTable, pages_needed
+from repro.kvcache.paged import (
+    DEFAULT_PAGE_SIZE,
+    BlockPool,
+    PageTable,
+    pages_needed,
+    resolve_pool_class,
+)
 from repro.models.positional import RopeTable
 
 __all__ = ["LayerKVCache"]
@@ -67,6 +73,11 @@ class LayerKVCache:
         Optional shared :class:`BlockPool` to store pages in (the cache
         manager passes one per layer).  When omitted a private growable pool
         is created — the standalone behaviour of the historical slab cache.
+    kv_dtype:
+        Page storage format for a privately created pool: ``None`` (default)
+        stores the compute dtype bit-exactly, ``"int8"`` stores quantized
+        pages (see :mod:`repro.kvcache.quant`).  Ignored when ``pool`` is
+        passed — the pool's own format wins.
     """
 
     def __init__(
@@ -80,6 +91,7 @@ class LayerKVCache:
         rope_table: RopeTable | None = None,
         pool: BlockPool | None = None,
         page_size: int | None = None,
+        kv_dtype: str | None = None,
     ):
         keys = np.asarray(keys)
         values = np.asarray(values)
@@ -101,7 +113,7 @@ class LayerKVCache:
         cap = max(int(capacity) if capacity is not None else t, t, 1)
         if pool is None:
             ps = page_size or DEFAULT_PAGE_SIZE
-            pool = BlockPool(
+            pool = resolve_pool_class(kv_dtype)(
                 h,
                 d,
                 page_size=ps,
@@ -248,10 +260,12 @@ class LayerKVCache:
 
     @property
     def batch_size(self) -> int:
+        """Number of sequence rows (page tables) in this cache."""
         return len(self._tables)
 
     @property
     def n_heads(self) -> int:
+        """Attention heads of the backing pool."""
         return self._pool.n_heads
 
     @property
@@ -267,18 +281,22 @@ class LayerKVCache:
 
     @property
     def d_head(self) -> int:
+        """Per-head feature dimension of the backing pool."""
         return self._pool.d_head
 
     @property
     def page_size(self) -> int:
+        """Tokens per KV page of the backing pool."""
         return self._pool.page_size
 
     @property
     def pool(self) -> BlockPool:
+        """The block pool this cache stores its pages in."""
         return self._pool
 
     @property
     def tables(self) -> list[PageTable]:
+        """Per-row page tables (row order matches the batch dimension)."""
         return self._tables
 
     def __len__(self) -> int:
@@ -287,12 +305,15 @@ class LayerKVCache:
     def nbytes(self, dtype_bytes: int | None = None) -> int:
         """Resident size of the cached keys+values.
 
-        ``dtype_bytes`` defaults to the **actual** storage dtype's item size
-        (the historical default silently assumed fp16); pass an explicit
-        value to model a different deployment dtype.
+        By default this asks the backing pool what a cached token actually
+        costs (``BlockPool.kv_token_nbytes``): the storage dtype's item size
+        for a full-precision pool, int8 codes plus amortized per-page scales
+        for a quantized one.  (The historical default silently assumed fp16.)
+        Pass an explicit ``dtype_bytes`` to model a different deployment
+        dtype instead.
         """
         if dtype_bytes is None:
-            dtype_bytes = self.dtype.itemsize
+            return int(self.batch_size * self.length * self._pool.kv_token_nbytes())
         return 2 * self.batch_size * self.n_heads * self.length * self.d_head * dtype_bytes
 
     # ------------------------------------------------------------------

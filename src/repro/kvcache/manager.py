@@ -34,23 +34,28 @@ class LayerCacheView:
         self.layer_idx = layer_idx
 
     def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Store the new token's key/value in this layer's cache."""
         self.manager.append(self.layer_idx, k, v)
 
     def attention_view(
         self,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
+        """Keys/values plus positional indices for the attention step."""
         return self.manager.attention_view(self.layer_idx)
 
     def observe(self, logits: np.ndarray, probs: np.ndarray) -> None:
+        """Hand the step's attention tensors to the eviction policy."""
         self.manager.observe(self.layer_idx, logits, probs)
 
     # -- speculative verify protocol (see DecoderBlock.verify_step) --------
     def append_block(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append the draft block's KV to this layer in one write."""
         self.manager.append_block(self.layer_idx, k, v)
 
     def verify_view(
         self, n_queries: int
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
+        """Verify-pass attention inputs over this layer's cache."""
         return self.manager.verify_view(self.layer_idx, n_queries)
 
 
@@ -66,6 +71,11 @@ class CacheManager:
         When positive and ``positional_mode == "original"``, per-layer caches
         maintain incrementally updated *rotated* keys so the attention step
         never re-rotates unchanged cache entries.
+    kv_dtype:
+        Page storage format of the store this manager builds: ``None``
+        (default) keeps full-precision pages — the bit-exact golden mode —
+        while ``"int8"`` stores quantized pages (see
+        :mod:`repro.kvcache.quant`).  Ignored when ``store`` is passed.
     """
 
     def __init__(
@@ -79,6 +89,7 @@ class CacheManager:
         rope_dims: int = 0,
         page_size: int = DEFAULT_PAGE_SIZE,
         store: PagedKVStore | None = None,
+        kv_dtype: str | None = None,
     ):
         self.policy = policy
         self.n_layers = n_layers
@@ -100,6 +111,7 @@ class CacheManager:
             # ``PoolExhausted``; the serving engine answers that with
             # preemption, solo callers should pass a growable store.
             self.page_size = store.page_size
+        self.kv_dtype = store.kv_dtype if store is not None else kv_dtype
         self._shared_store = store
         self.store: PagedKVStore | None = store
         self.caches: list[LayerKVCache] = []
@@ -126,6 +138,7 @@ class CacheManager:
             rope_dims=self.rope_dims,
             n_pages=pages,
             growable=True,
+            kv_dtype=self.kv_dtype,
         )
 
     def _make_cache_kwargs(self, max_new_tokens: int, initial_len: int) -> dict:
@@ -184,6 +197,7 @@ class CacheManager:
             )
             for layer, (keys, values) in enumerate(prompt_kv)
         ]
+        self.stats.kv_token_bytes = self.store.pools[0].kv_token_nbytes()
         self.stats.total_appended += prompt_len * self.n_layers
 
         self._apply_prompt_selections(prompt_attn, prompt_logits, prompt_len)
@@ -250,6 +264,7 @@ class CacheManager:
             LayerKVCache.map_tables(self.store.pool(layer), tables, rope_dims=self.rope_dims)
             for layer, tables in enumerate(source_tables)
         ]
+        self.stats.kv_token_bytes = self.store.pools[0].kv_token_nbytes()
         self.stats.total_appended += prompt_len * self.n_layers
         self._apply_prompt_selections(prompt_attn, prompt_logits, prompt_len)
 
@@ -277,6 +292,7 @@ class CacheManager:
             batch_size=batch_size,
             prompt_len=0,
         )
+        self.stats.kv_token_bytes = self.store.pools[0].kv_token_nbytes()
 
     # ------------------------------------------------------------------
     # decode phase
@@ -292,6 +308,7 @@ class CacheManager:
         return [self.layer_view(i) for i in range(self.n_layers)]
 
     def append(self, layer_idx: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Append the current token's key/value to one layer's cache."""
         self.caches[layer_idx].append(k, v, self.current_position)
         self.stats.total_appended += 1
 
@@ -325,6 +342,7 @@ class CacheManager:
         return keys, cache.values, key_positions, query_positions, keys_rotated
 
     def observe(self, layer_idx: int, logits: np.ndarray, probs: np.ndarray) -> None:
+        """Run the policy on the step's attention tensors; apply evictions."""
         cache = self.caches[layer_idx]
         selection = self.policy.step_selection(
             layer_idx,

@@ -55,6 +55,7 @@ __all__ = [
     "PagedKVStore",
     "PrefixMatch",
     "PrefixRegistry",
+    "resolve_pool_class",
 ]
 
 DEFAULT_PAGE_SIZE = 16
@@ -146,13 +147,14 @@ class BlockPool:
         self.reclaimer: Callable[[int], int] | None = None
 
         n_slots = n_pages * self.page_size
+        storage = self._storage_dtype()
         # np.zeros (not empty): padded/stale slots must stay benign — the
         # float32 serving path may touch them before masking.
-        self._k = np.zeros((n_heads, n_slots, d_head), dtype=self.dtype)
-        self._v = np.zeros((n_heads, n_slots, d_head), dtype=self.dtype)
+        self._k = np.zeros((n_heads, n_slots, d_head), dtype=storage)
+        self._v = np.zeros((n_heads, n_slots, d_head), dtype=storage)
         self._pos = np.zeros((n_heads, n_slots), dtype=np.int64)
         self._k_rot = (
-            np.zeros((n_heads, n_slots, d_head), dtype=self.dtype)
+            np.zeros((n_heads, n_slots, d_head), dtype=storage)
             if self.rope_dims > 0
             else None
         )
@@ -166,30 +168,53 @@ class BlockPool:
         self._n_shared = 0
 
     # ------------------------------------------------------------------
+    # storage hooks (overridden by the quantized pool)
+    # ------------------------------------------------------------------
+    def _storage_dtype(self) -> np.dtype:
+        """Dtype of the key/value slabs; the full-precision pool stores the
+        compute dtype itself (:class:`~repro.kvcache.quant.QuantizedBlockPool`
+        stores ``int8`` codes instead)."""
+        return self.dtype
+
+    def _grow_page_state(self, n_pages: int) -> None:
+        """Hook: grow per-page bookkeeping to ``n_pages`` entries (no-op here;
+        the quantized pool grows its scale/zero tensors)."""
+
+    def _copy_page_state(self, src_page: int, dst_page: int) -> None:
+        """Hook: copy per-page bookkeeping during copy-on-write (no-op here;
+        the quantized pool copies the page's quantization parameters)."""
+
+    # ------------------------------------------------------------------
     # geometry / accounting
     # ------------------------------------------------------------------
     @property
     def n_heads(self) -> int:
+        """Number of attention heads the slabs are laid out for."""
         return self._k.shape[0]
 
     @property
     def d_head(self) -> int:
+        """Per-head feature dimension of the key/value slabs."""
         return self._k.shape[2]
 
     @property
     def n_pages(self) -> int:
+        """Total pages in the pool (free and mapped)."""
         return self.refcounts.shape[0]
 
     @property
     def n_slots(self) -> int:
+        """Total token slots across all pages (``n_pages * page_size``)."""
         return self._k.shape[1]
 
     @property
     def free_pages(self) -> int:
+        """Pages currently on the free list."""
         return len(self._free)
 
     @property
     def used_pages(self) -> int:
+        """Pages currently mapped by at least one owner."""
         return self.n_pages - len(self._free)
 
     @property
@@ -201,6 +226,51 @@ class BlockPool:
         """Pages needed to hold ``n_tokens`` token slots."""
         return pages_needed(n_tokens, self.page_size)
 
+    def kv_token_nbytes(self) -> float:
+        """Key+value storage bytes one cached token occupies (all heads).
+
+        Full-precision pools store the compute dtype itself; the quantized
+        pool overrides this with int8 codes plus the amortized per-page
+        ``(scale, zero)`` tensors, so memory accounting (``LayerKVCache.nbytes``,
+        :meth:`repro.perfmodel.memory.MemoryModel.measured_kv_bytes`) reflects
+        what is actually resident.
+        """
+        return float(2 * self.n_heads * self.d_head * self._k.dtype.itemsize)
+
+    @classmethod
+    def estimate_page_nbytes(
+        cls,
+        n_heads: int,
+        d_head: int,
+        page_size: int,
+        dtype: np.dtype | str,
+        rope_dims: int,
+    ) -> float:
+        """Resident bytes of one page before a pool exists — used to convert
+        a byte budget into a page count (``max_pool_bytes``).  Counts every
+        slab a page holds: keys, values, the rotated-key slab when
+        ``rope_dims > 0``, and the int64 per-head positions."""
+        itemsize = np.dtype(dtype).itemsize
+        slabs = 2 + (1 if rope_dims > 0 else 0)
+        return float(page_size * n_heads * (slabs * d_head * itemsize + 8))
+
+    def page_nbytes(self) -> float:
+        """Resident bytes of one page of this pool (see
+        :meth:`estimate_page_nbytes`)."""
+        return type(self).estimate_page_nbytes(
+            self.n_heads, self.d_head, self.page_size, self.dtype, self.rope_dims
+        )
+
+    def nbytes(self) -> int:
+        """Resident bytes of this pool's slabs — keys, values, rotated keys
+        and positions (plus, in the quantized pool, its per-page
+        quantization tensors)."""
+        return sum(
+            slab.nbytes
+            for slab in (self._k, self._v, self._pos, self._k_rot)
+            if slab is not None
+        )
+
     # ------------------------------------------------------------------
     # allocation / refcounting
     # ------------------------------------------------------------------
@@ -209,6 +279,7 @@ class BlockPool:
         n_slots = new_pages * self.page_size
 
         def grown(slab: np.ndarray | None, trailing: tuple[int, ...]) -> np.ndarray | None:
+            """Copy ``slab`` into a zero-padded array with ``n_slots`` slots."""
             if slab is None:
                 return None
             fresh = np.zeros((self.n_heads, n_slots) + trailing, dtype=slab.dtype)
@@ -224,6 +295,7 @@ class BlockPool:
         self.refcounts = np.concatenate(
             [self.refcounts, np.zeros(new_pages - self.n_pages, dtype=np.int64)]
         )
+        self._grow_page_state(new_pages)
 
     def alloc(self, n: int) -> list[int]:
         """Allocate ``n`` pages (refcount 1 each), lowest ids first.
@@ -249,6 +321,7 @@ class BlockPool:
         return pages
 
     def retain(self, pages: Iterable[int]) -> None:
+        """Bump the refcount of every page in ``pages``."""
         for page in pages:
             count = self.refcounts[page] + 1
             self.refcounts[page] = count
@@ -256,6 +329,7 @@ class BlockPool:
                 self._n_shared += 1
 
     def release(self, pages: Iterable[int]) -> None:
+        """Drop one reference per page; free pages return to the free list."""
         for page in pages:
             count = self.refcounts[page] - 1
             if count < 0:
@@ -267,6 +341,7 @@ class BlockPool:
                 self._n_shared -= 1
 
     def release_table(self, table: PageTable) -> None:
+        """Release every page a table maps and reset it to empty."""
         self.release(table.pages)
         table.pages = []
         table.offset = 0
@@ -381,6 +456,20 @@ class BlockPool:
             # The first written slot lands inside the current last page; COW
             # it if shared (e.g. right after a beam duplicated this table).
             self._copy_on_write(table, start // ps)
+        self._store_span(table, start, keys, values, positions)
+        table.length += t
+
+    def _store_span(
+        self,
+        table: PageTable,
+        start: int,
+        keys: np.ndarray,
+        values: np.ndarray,
+        positions: np.ndarray,
+    ) -> None:
+        """Write a dense token span (with eager RoPE rotation) into the pages
+        covering slots ``start ..`` of ``table`` — the single write primitive
+        :meth:`extend` funnels through, overridden by the quantized pool."""
         k_rot = None
         if self._k_rot is not None:
             k_rot = self.rope_table.rotate(keys, positions)
@@ -394,7 +483,6 @@ class BlockPool:
                 (self._k_rot, k_rot),
             ],
         )
-        table.length += t
 
     def _copy_on_write(self, table: PageTable, page_index: int) -> None:
         """Give ``table`` an exclusive copy of its ``page_index``-th page."""
@@ -409,18 +497,25 @@ class BlockPool:
         for slab in (self._k, self._v, self._pos, self._k_rot):
             if slab is not None:
                 slab[:, dst : dst + ps] = slab[:, src : src + ps]
+        self._copy_page_state(page, fresh)
         table.pages[page_index] = fresh
         self.release([page])
 
     def append(self, table: PageTable, k: np.ndarray, v: np.ndarray, position: int) -> None:
         """Append one token (``k``/``v`` of shape ``(heads, d_head)``)."""
         slot = self._append_slot(table)
+        self._store_token(slot, k, v, int(position))
+        table.length += 1
+
+    def _store_token(self, slot: int, k: np.ndarray, v: np.ndarray, position: int) -> None:
+        """Write one token's key/value/position (plus eager rotation) into a
+        resolved pool slot — the single-token write primitive shared by
+        :meth:`append`, overridden by the quantized pool."""
         self._k[:, slot] = k
         self._v[:, slot] = v
-        self._pos[:, slot] = int(position)
+        self._pos[:, slot] = position
         if self._k_rot is not None:
-            self._k_rot[:, slot] = self.rope_table.rotate_uniform(k, int(position))
-        table.length += 1
+            self._k_rot[:, slot] = self.rope_table.rotate_uniform(k, position)
 
     def _append_slot(self, table: PageTable) -> int:
         """Flat pool slot for the next appended token (allocates / COWs)."""
@@ -512,15 +607,7 @@ class BlockPool:
             slots = self.slot_map(table)
             gidx = (head_offsets + slots[indices]).reshape(-1)
 
-        def taken(slab: np.ndarray | None) -> np.ndarray | None:
-            if slab is None:
-                return None
-            if slab.ndim == 2:
-                return slab.reshape(-1).take(gidx).reshape(self.n_heads, k)
-            flat = slab.reshape(self.n_heads * self.n_slots, self.d_head)
-            return flat.take(gidx, axis=0).reshape(self.n_heads, k, self.d_head)
-
-        data = [taken(self._k), taken(self._v), taken(self._pos), taken(self._k_rot)]
+        data = self._take_all(gidx, k)
         n_needed = self.pages_for(max(k, 1))
         if self._exclusive(table):
             # In-place compaction: keep the first pages, free the tail.
@@ -534,13 +621,35 @@ class BlockPool:
             table.pages = fresh
         table.offset = 0
         table.length = k
-        # Re-read the slab attributes only now: alloc() above may have grown
-        # the pool and rebound them — pairing slabs with the gathered data any
-        # earlier would write the compaction into orphaned arrays.
+        self._write_all(table, data)
+        return dropped
+
+    def _take_all(self, gidx: np.ndarray, k: int) -> list[np.ndarray | None]:
+        """Gather ``[keys, values, positions, rotated_keys]`` for the flat
+        pool-slot indices ``gidx`` (compaction read).  The quantized pool
+        overrides this to return *dequantized* keys/values, so eviction
+        re-quantizes survivors against fresh per-page ranges."""
+
+        def taken(slab: np.ndarray | None) -> np.ndarray | None:
+            """Gather ``gidx`` from one slab (None passes through)."""
+            if slab is None:
+                return None
+            if slab.ndim == 2:
+                return slab.reshape(-1).take(gidx).reshape(self.n_heads, k)
+            flat = slab.reshape(self.n_heads * self.n_slots, self.d_head)
+            return flat.take(gidx, axis=0).reshape(self.n_heads, k, self.d_head)
+
+        return [taken(self._k), taken(self._v), taken(self._pos), taken(self._k_rot)]
+
+    def _write_all(self, table: PageTable, data: list[np.ndarray | None]) -> None:
+        """Write the compacted ``[keys, values, positions, rotated_keys]``
+        back into ``table``'s (re)allocated pages.  The slab attributes are
+        re-read only here: the allocation in :meth:`gather` may have grown the
+        pool and rebound them — pairing slabs with the gathered data any
+        earlier would write the compaction into orphaned arrays."""
         self._write_span(
             table, 0, zip((self._k, self._v, self._pos, self._k_rot), data)
         )
-        return dropped
 
     def truncate(self, table: PageTable, n: int) -> None:
         """Drop the last ``n`` live tokens (speculative-decode rollback).
@@ -590,15 +699,19 @@ class BlockPool:
         return out
 
     def keys_view(self, table: PageTable) -> np.ndarray:
+        """Dense live (unrotated) keys, shape ``(heads, length, d_head)``."""
         return self.token_view(table, self._k)
 
     def values_view(self, table: PageTable) -> np.ndarray:
+        """Dense live values, shape ``(heads, length, d_head)``."""
         return self.token_view(table, self._v)
 
     def positions_view(self, table: PageTable) -> np.ndarray:
+        """Dense live original positions, shape ``(heads, length)``."""
         return self.token_view(table, self._pos)
 
     def rotated_view(self, table: PageTable) -> np.ndarray:
+        """Dense live RoPE-rotated keys, shape ``(heads, length, d_head)``."""
         if self._k_rot is None:
             raise RuntimeError("rotated-key slab disabled (rope_dims == 0)")
         return self.token_view(table, self._k_rot)
@@ -634,6 +747,22 @@ class BlockPool:
         return keys, self.token_view(probe, self._v)
 
 
+def resolve_pool_class(kv_dtype: str | None) -> type[BlockPool]:
+    """Pool implementation for a ``kv_dtype`` knob value.
+
+    ``None`` (or ``"native"``) keeps full-precision pages — the bit-exact
+    default every golden test runs on; ``"int8"`` selects the quantized pool
+    of :mod:`repro.kvcache.quant` (imported lazily to avoid a cycle).
+    """
+    if kv_dtype in (None, "native"):
+        return BlockPool
+    if str(kv_dtype) == "int8":
+        from repro.kvcache.quant import QuantizedBlockPool
+
+        return QuantizedBlockPool
+    raise ValueError(f"unknown kv_dtype {kv_dtype!r}; expected None, 'native' or 'int8'")
+
+
 class PagedKVStore:
     """One :class:`BlockPool` per decoder layer plus cross-layer accounting.
 
@@ -641,6 +770,12 @@ class PagedKVStore:
     never share pages (their KV contents differ), but they share geometry and
     — through this object — a single notion of free memory that the
     memory-aware scheduler admits against.
+
+    ``kv_dtype`` selects the page storage format: ``None``/``"native"``
+    stores the compute dtype bit-exactly, ``"int8"`` stores quantized pages
+    (:class:`~repro.kvcache.quant.QuantizedBlockPool`) that shrink KV bytes
+    per token roughly 4x at float32 (8x at float64) under an accuracy
+    contract documented in ``docs/quantization.md``.
     """
 
     def __init__(
@@ -654,12 +789,15 @@ class PagedKVStore:
         rope_table: RopeTable | None = None,
         n_pages: int | None = None,
         growable: bool = True,
+        kv_dtype: str | None = None,
     ):
         self.n_layers = n_layers
         self.page_size = int(page_size)
         self.growable = growable
+        self.kv_dtype = kv_dtype
+        pool_cls = resolve_pool_class(kv_dtype)
         self.pools = [
-            BlockPool(
+            pool_cls(
                 n_heads,
                 d_head,
                 page_size=page_size,
@@ -673,30 +811,53 @@ class PagedKVStore:
         ]
 
     def pool(self, layer_idx: int) -> BlockPool:
+        """The block pool backing decoder layer ``layer_idx``."""
         return self.pools[layer_idx]
 
     def attach_reclaimer(self, reclaimer: Callable[[int], int]) -> None:
+        """Install the prefix registry's reclaim callback on every pool."""
         for pool in self.pools:
             pool.reclaimer = reclaimer
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def page_nbytes_for(
+        kv_dtype: str | None,
+        n_heads: int,
+        d_head: int,
+        page_size: int,
+        dtype: np.dtype | str,
+        rope_dims: int,
+    ) -> float:
+        """Resident bytes of one page for a store that does not exist yet —
+        how a byte budget (``max_pool_bytes``) is converted into a page
+        count before the pools are built."""
+        return resolve_pool_class(kv_dtype).estimate_page_nbytes(
+            n_heads, d_head, page_size, dtype, rope_dims
+        )
+
     def pages_for_tokens(self, n_tokens: int) -> int:
+        """Pages (per layer) needed to hold ``n_tokens`` token slots."""
         return pages_needed(n_tokens, self.page_size)
 
     @property
     def total_pages(self) -> int:
+        """Pages across all layer pools (free and mapped)."""
         return sum(pool.n_pages for pool in self.pools)
 
     @property
     def free_pages(self) -> int:
+        """Free pages across all layer pools."""
         return sum(pool.free_pages for pool in self.pools)
 
     @property
     def used_pages(self) -> int:
+        """Mapped pages across all layer pools."""
         return sum(pool.used_pages for pool in self.pools)
 
     @property
     def shared_pages(self) -> int:
+        """Multiply-mapped pages across all layer pools."""
         return sum(pool.shared_pages for pool in self.pools)
 
     def min_free_pages(self) -> int:
@@ -705,22 +866,33 @@ class PagedKVStore:
         return min(pool.free_pages for pool in self.pools)
 
     def usage(self) -> dict:
-        """Aggregate pool utilization (for demos / telemetry)."""
+        """Aggregate pool utilization (for demos / telemetry).
+
+        Besides page counts, reports **bytes**: ``bytes_total`` is the
+        resident size of every slab (plus quantization state), and
+        ``bytes_used`` the share covered by mapped pages — the number that
+        makes full-precision and int8 pools comparable under one budget.
+        """
+        page_bytes = sum(pool.page_nbytes() for pool in self.pools) / max(
+            self.n_layers, 1
+        )
         return {
             "pages_total": self.total_pages,
             "pages_used": self.used_pages,
             "pages_free": self.free_pages,
             "pages_shared": self.shared_pages,
+            "bytes_total": self.nbytes(),
+            "bytes_used": int(
+                sum(pool.used_pages * pool.page_nbytes() for pool in self.pools)
+            ),
+            "bytes_per_page": int(page_bytes),
         }
 
     def nbytes(self) -> int:
-        """Resident bytes of all pool slabs (keys + values + rotated keys)."""
-        total = 0
-        for pool in self.pools:
-            for slab in (pool._k, pool._v, pool._k_rot):
-                if slab is not None:
-                    total += slab.nbytes
-        return total
+        """Resident bytes of all pool slabs — keys, values, rotated keys and
+        positions (plus per-page quantization tensors for an int8 store),
+        i.e. the sum of every pool's :meth:`BlockPool.nbytes`."""
+        return sum(pool.nbytes() for pool in self.pools)
 
 
 class PrefixMatch:
@@ -893,6 +1065,7 @@ class PrefixRegistry:
         del self._chunks[chunk.key]
 
     def clear(self) -> None:
+        """Drop every registered chunk (leaf-first), releasing all pins."""
         for chunk in list(self._chunks.values()):
             if not chunk.children:
                 self._drop(chunk)

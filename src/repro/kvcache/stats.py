@@ -28,6 +28,12 @@ class CacheStats:
     lengths_per_step: list[list[int]] = field(default_factory=list)
     total_appended: int = 0
     total_evicted: int = 0
+    #: Actual key+value storage bytes per cached token (all heads), as
+    #: reported by the backing pool's ``kv_token_nbytes`` — the storage
+    #: dtype's size for full-precision pools, int8 codes plus amortized
+    #: per-page scales for quantized ones.  0 means "not attached to a
+    #: store", in which case only the analytic fp16 numbers are reported.
+    kv_token_bytes: float = 0.0
 
     def record_step(self, lengths: list[int]) -> None:
         """Record the per-layer cache length used at one decoding step."""
@@ -49,6 +55,7 @@ class CacheStats:
     # ------------------------------------------------------------------
     @property
     def n_steps(self) -> int:
+        """Number of decoding steps recorded so far."""
         return len(self.lengths_per_step)
 
     def mean_cache_length(self) -> float:
@@ -88,9 +95,29 @@ class CacheStats:
             return 0.0
         return self.total_evicted / self.total_appended
 
+    def kv_bytes_read_actual(self) -> int:
+        """Total bytes of KV data moved during generation at the *actual*
+        storage cost per token (0 when no store was attached)."""
+        return int(self.kv_entries_read() * self.kv_token_bytes * max(self.batch_size, 1))
+
+    def peak_kv_bytes_actual(self) -> int:
+        """Peak resident KV bytes at the actual storage cost per token
+        (0 when no store was attached)."""
+        return int(
+            self.peak_cache_length()
+            * self.kv_token_bytes
+            * self.n_layers
+            * max(self.batch_size, 1)
+        )
+
     def summary(self) -> dict:
-        """Dictionary summary for experiment reports."""
-        return {
+        """Dictionary summary for experiment reports.
+
+        ``kv_bytes_read_fp16`` keeps the paper's analytic fp16 convention;
+        the ``*_actual`` entries report what the backing store really moved
+        and held (and therefore shrink under ``kv_dtype="int8"``).
+        """
+        out = {
             "n_steps": self.n_steps,
             "mean_cache_length": self.mean_cache_length(),
             "peak_cache_length": self.peak_cache_length(),
@@ -98,3 +125,8 @@ class CacheStats:
             "kv_bytes_read_fp16": self.kv_bytes_read(2),
             "eviction_rate": self.eviction_rate(),
         }
+        if self.kv_token_bytes:
+            out["kv_token_bytes"] = self.kv_token_bytes
+            out["kv_bytes_read_actual"] = self.kv_bytes_read_actual()
+            out["peak_kv_bytes_actual"] = self.peak_kv_bytes_actual()
+        return out

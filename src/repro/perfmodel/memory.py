@@ -6,9 +6,23 @@ Besides the contiguous worst-case model, :class:`MemoryModel` accounts for
 (bounded internal fragmentation of at most ``page_size - 1`` tokens per
 sequence) while reservation-based fragmentation — the worst-case
 ``prompt + max_new_tokens`` slabs the pre-paged engine had to hold — is
-eliminated entirely.  ``measured_kv_bytes`` reads the resident size straight
-from live caches via ``LayerKVCache.nbytes`` instead of re-deriving it from a
-parallel formula.
+eliminated entirely.  The paged formulas (:meth:`MemoryModel.kv_page_bytes`,
+:meth:`MemoryModel.paged_kv_cache_bytes`,
+:meth:`MemoryModel.paged_max_concurrency`) take a ``kv_dtype`` knob: with
+``"int8"`` a page stores 1-byte codes plus per-page/per-head float32
+``(scale, zero)`` pairs (:mod:`repro.kvcache.quant`), which is how the same
+HBM budget funds several times more concurrent sequences.
+
+Two distinct byte conventions coexist here, on purpose:
+
+* **Analytic deployment projections** use ``PerfModelSpec.dtype_bytes``
+  (default 2 — the paper's fp16 serving hardware) unless ``kv_dtype``
+  overrides them.  These model a hypothetical full-size deployment.
+* **Measured residency** (:meth:`MemoryModel.measured_kv_bytes`) asks live
+  caches what a token *actually* costs in this process — the storage
+  dtype's item size for full-precision pools, int8 codes plus amortized
+  page scales for quantized ones — so it never re-derives bytes from a
+  parallel formula that could drift from the implementation.
 """
 
 from __future__ import annotations
@@ -91,22 +105,43 @@ class MemoryModel:
             raise ValueError("page_size must be positive")
         return -(-int(seq_len) // page_size)
 
-    def kv_page_bytes(self, page_size: int) -> float:
-        """Bytes of one KV page across all layers (keys + values)."""
-        return self.kv_bytes_per_token() * page_size
+    def kv_page_bytes(self, page_size: int, kv_dtype: str | None = None) -> float:
+        """Bytes of one KV page across all layers (keys + values).
+
+        ``kv_dtype=None`` stores the deployment dtype
+        (``PerfModelSpec.dtype_bytes`` per element); ``"int8"`` stores 1-byte
+        codes plus one float32 ``(scale, zero)`` pair per page, per head, per
+        K/V stream, per layer — the storage format of
+        :class:`repro.kvcache.quant.QuantizedBlockPool`.
+        """
+        if kv_dtype in (None, "native"):
+            return self.kv_bytes_per_token() * page_size
+        if str(kv_dtype) != "int8":
+            raise ValueError(f"unknown kv_dtype {kv_dtype!r}; expected None or 'int8'")
+        codes = 2 * self.spec.n_layers * self.spec.d_model * page_size
+        params = 2 * 2 * 4 * self.spec.n_heads * self.spec.n_layers
+        return float(codes + params)
 
     def paged_kv_cache_bytes(
-        self, seq_len: int, batch_size: int = 1, page_size: int = 16
+        self,
+        seq_len: int,
+        batch_size: int = 1,
+        page_size: int = 16,
+        kv_dtype: str | None = None,
     ) -> float:
         """Resident KV bytes under paged storage: whole pages per sequence.
 
         The gap to :meth:`kv_cache_bytes` at the same ``seq_len`` is the
         internal fragmentation (< one page per sequence); the gap to the
         worst-case reservation ``kv_cache_bytes(prompt + max_new)`` is what
-        paging reclaims for additional concurrent sequences.
+        paging reclaims for additional concurrent sequences.  ``kv_dtype``
+        (see :meth:`kv_page_bytes`) additionally shrinks what each resident
+        page costs — eviction and quantization compose.
         """
         return (
-            self.kv_pages(seq_len, page_size) * self.kv_page_bytes(page_size) * batch_size
+            self.kv_pages(seq_len, page_size)
+            * self.kv_page_bytes(page_size, kv_dtype)
+            * batch_size
         )
 
     def paged_max_concurrency(
@@ -115,11 +150,18 @@ class MemoryModel:
         seq_len: int,
         page_size: int = 16,
         watermark: float = 0.1,
+        kv_dtype: str | None = None,
     ) -> int:
         """Concurrent sequences of resident length ``seq_len`` a paged pool
-        sized to the free HBM (after weights, below the watermark) can hold."""
+        sized to the free HBM (after weights, below the watermark) can hold.
+
+        With ``kv_dtype="int8"`` each sequence's pages cost ~``dtype_bytes``x
+        less, so concurrency under the same budget rises by nearly that
+        factor (the pinned ``quant_concurrency_ratio`` benchmark gates it at
+        >= 2x).
+        """
         budget = (hbm_capacity_bytes - self.model_bytes()) * (1.0 - watermark)
-        per_seq = self.paged_kv_cache_bytes(seq_len, 1, page_size)
+        per_seq = self.paged_kv_cache_bytes(seq_len, 1, page_size, kv_dtype)
         if budget <= 0 or per_seq <= 0:
             return 0
         return int(budget // per_seq)
@@ -127,8 +169,10 @@ class MemoryModel:
     @staticmethod
     def measured_kv_bytes(caches: Iterable, dtype_bytes: int | None = None) -> int:
         """Resident KV bytes of live per-layer caches, summed via each cache's
-        own ``nbytes`` (which defaults to the actual storage dtype) — the
-        measured counterpart of the analytical formulas above."""
+        own ``nbytes`` — which asks the backing pool what a cached token
+        actually costs (full-precision storage dtype, or int8 codes plus
+        amortized page scales for a quantized pool) — the measured
+        counterpart of the analytical formulas above."""
         return sum(cache.nbytes(dtype_bytes) for cache in caches)
 
     # ------------------------------------------------------------------

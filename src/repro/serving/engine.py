@@ -55,7 +55,12 @@ from repro.core.policies import EvictionPolicy, FullAttentionPolicy
 from repro.generation.generator import GenerationResult, Generator
 from repro.generation.sampler import GreedySampler, Sampler, make_sampler, sample_rows
 from repro.kvcache.batch import BatchedCacheManager
-from repro.kvcache.paged import DEFAULT_PAGE_SIZE, PoolExhausted, PrefixMatch
+from repro.kvcache.paged import (
+    DEFAULT_PAGE_SIZE,
+    PagedKVStore,
+    PoolExhausted,
+    PrefixMatch,
+)
 from repro.kvcache.stats import CacheStats
 from repro.models.config import GenerationConfig
 from repro.models.tensor_ops import log_softmax
@@ -101,6 +106,23 @@ class ContinuousBatchingEngine:
         pages triggers preemption.  ``None`` (default) keeps the pools
         growable — the engine never preempts and behaves like an unbounded
         store.
+    max_pool_bytes:
+        Alternative to ``max_pool_tokens``: a **byte** budget per engine,
+        converted to pages with the actual per-page footprint of the chosen
+        ``kv_dtype`` — so the same budget funds ~4x (float32; ~8x at
+        float64) more pages, and therefore proportionally more concurrent
+        sequences, with ``kv_dtype="int8"``.  Mutually exclusive with
+        ``max_pool_tokens``.
+    kv_dtype:
+        KV-page storage format of the shared store: ``None`` (default) keeps
+        full-precision pages — every output bit-identical to solo decoding —
+        while ``"int8"`` stores quantized pages (:mod:`repro.kvcache.quant`).
+        Int8 serving stays bit-identical to *solo int8* decoding (same
+        dequantized reads, preemption-restart included) except through
+        shared-prefix prefill (reads dequantized prefix pages) and
+        speculation (a rejected draft can widen a page's quantization range
+        before rollback); see the accuracy contract in
+        ``docs/quantization.md``.
     enable_prefix_sharing:
         Map resident prompt-prefix pages instead of recomputing them.
         Automatically skipped per request for policies that consume prompt
@@ -128,6 +150,8 @@ class ContinuousBatchingEngine:
         max_total_tokens: int | None = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         max_pool_tokens: int | None = None,
+        max_pool_bytes: int | None = None,
+        kv_dtype: str | None = None,
         enable_prefix_sharing: bool = True,
         speculation: SpeculationConfig | None = None,
     ):
@@ -136,6 +160,26 @@ class ContinuousBatchingEngine:
         self.positional_mode = positional_mode
         self.scheduler = scheduler or PagedScheduler(max_batch_size, max_total_tokens)
         self.page_size = int(page_size)
+        self.kv_dtype = kv_dtype
+        if max_pool_bytes is not None:
+            if max_pool_tokens is not None:
+                raise ValueError("pass either max_pool_tokens or max_pool_bytes, not both")
+            # Convert the byte budget into pages using the per-page footprint
+            # of the chosen kv_dtype (conservatively counting the rotated-key
+            # slab whenever the model is RoPE — renumbered-position engines
+            # simply get a little slack).
+            config = model.config
+            page_bytes = PagedKVStore.page_nbytes_for(
+                kv_dtype,
+                config.n_heads,
+                config.d_head,
+                self.page_size,
+                config.np_dtype,
+                config.rope_dims if config.positional == "rope" else 0,
+            )
+            n_pages = max(int(max_pool_bytes // (config.n_layers * page_bytes)), 1)
+            max_pool_tokens = n_pages * self.page_size
+        self.max_pool_bytes = max_pool_bytes
         self.max_pool_tokens = max_pool_tokens
         self.enable_prefix_sharing = enable_prefix_sharing
         self.speculation = speculation
@@ -804,6 +848,7 @@ class ContinuousBatchingEngine:
             rope_dims=config.rope_dims if config.positional == "rope" else 0,
             page_size=self.page_size,
             max_pool_tokens=self.max_pool_tokens,
+            kv_dtype=self.kv_dtype,
         )
         self._layer_views = self._manager.layer_views()
 
@@ -861,6 +906,8 @@ class BatchedGenerator:
         max_total_tokens: int | None = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         max_pool_tokens: int | None = None,
+        max_pool_bytes: int | None = None,
+        kv_dtype: str | None = None,
         enable_prefix_sharing: bool = True,
         speculation: SpeculationConfig | None = None,
     ):
@@ -871,6 +918,8 @@ class BatchedGenerator:
         self.max_total_tokens = max_total_tokens
         self.page_size = page_size
         self.max_pool_tokens = max_pool_tokens
+        self.max_pool_bytes = max_pool_bytes
+        self.kv_dtype = kv_dtype
         self.enable_prefix_sharing = enable_prefix_sharing
         self.speculation = speculation
 
@@ -883,6 +932,8 @@ class BatchedGenerator:
             max_total_tokens=self.max_total_tokens,
             page_size=self.page_size,
             max_pool_tokens=self.max_pool_tokens,
+            max_pool_bytes=self.max_pool_bytes,
+            kv_dtype=self.kv_dtype,
             enable_prefix_sharing=self.enable_prefix_sharing,
             speculation=self.speculation,
         )
