@@ -9,7 +9,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # CI jobs on one runner never clobber each other's reports.
 BENCH_SMOKE_OUT ?= BENCH_smoke.json
 
-.PHONY: test test-cov bench bench-smoke bench-gate lint docs-check serve-demo check
+.PHONY: test test-cov bench bench-smoke bench-gate lint docs-check serve-demo chaos check
 
 test:
 	$(PYTHON) -m pytest -x -q tests
@@ -37,13 +37,20 @@ lint:
 
 # The CI docs job: every docs page reachable from README with no dead links,
 # plus pydocstyle (ruff D) docstring rules on the kvcache, serving and
-# speculative subsystems so the newest code stays documented.
+# speculative subsystems (and the tools they ship with) so the newest code
+# stays documented.
 docs-check:
 	$(PYTHON) tools/check_docs.py
-	ruff check --select D100,D101,D102,D103,D104,D419 src/repro/kvcache src/repro/speculative src/repro/serving
+	ruff check --select D100,D101,D102,D103,D104,D419 src/repro/kvcache src/repro/speculative src/repro/serving tools
 
 serve-demo:
 	$(PYTHON) examples/serving_demo.py
+
+# Pinned 1000-step seeded fault-injection campaign (the CI chaos job): every
+# injection point fires, per-step pool-integrity audits stay clean, survivors
+# stay bit-exact, and the store ends with zero leaked pages.
+chaos:
+	$(PYTHON) tools/run_chaos.py
 
 check: test bench-smoke
 	@echo "check OK: tier-1 tests + benchmark smoke run passed"

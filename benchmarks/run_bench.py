@@ -557,6 +557,57 @@ def bench_spec_decode(rounds: int) -> dict[str, dict]:
     }
 
 
+def bench_chaos_recovery(rounds: int) -> dict[str, dict]:
+    """Wall-clock overhead of fault recovery (informational, not gated).
+
+    Runs the same 4-request serving workload twice — fault-free, then with a
+    pinned seeded ``FaultInjector`` aggressive enough to force retries at
+    every injection point class — and records the dimensionless
+    ``overhead_ratio`` (faulted / clean median wall-clock) plus the fault and
+    retry counts.  The keys deliberately avoid ``min_s``/``speedup`` so
+    ``check_regression.py`` treats the component as informational: recovery
+    cost tracks fault *placement*, which the pinned seed keeps stable, but a
+    gate on it would really be gating the injection schedule.
+    """
+    from repro.serving.faults import FaultInjector
+
+    model = _model(max_seq_len=512)
+    prompt_rng = np.random.default_rng(11)
+    prompts = [prompt_rng.integers(0, 256, size=n) for n in (96, 48, 72, 60)]
+    config = GenerationConfig(max_new_tokens=24)
+    telemetry: dict[str, int] = {"faults": 0, "retries": 0}
+
+    def run_workload(faults):
+        engine = ContinuousBatchingEngine(
+            model,
+            max_batch_size=SERVE_BATCH,
+            enable_prefix_sharing=False,
+            faults=faults,
+            max_retries=3,
+            retry_backoff_steps=1,
+        )
+        for prompt in prompts:
+            engine.submit(prompt, config, sampler=GreedySampler())
+        engine.run()
+        if faults is not None:
+            stats = engine.fault_telemetry()
+            telemetry["faults"] = stats["faults"]
+            telemetry["retries"] = stats["retries"]
+
+    clean = _time(None, lambda: run_workload(None), rounds)
+    faulted = _time(None, lambda: run_workload(FaultInjector(rate=0.02, seed=7)), rounds)
+    return {
+        "chaos_recovery_overhead": {
+            "overhead_ratio": round(faulted["median_s"] / clean["median_s"], 3),
+            "clean_median_s": clean["median_s"],
+            "faulted_median_s": faulted["median_s"],
+            "faults_injected": telemetry["faults"],
+            "retries": telemetry["retries"],
+            "rounds": rounds,
+        }
+    }
+
+
 def run_suite(smoke: bool = False) -> dict:
     """Run every component and return ``name -> timing`` results.
 
@@ -617,6 +668,9 @@ def run_suite(smoke: bool = False) -> dict:
     # Speculative decoding runs the same 1k geometry in smoke and full modes
     # so the CI gate can compare the pinned speedup ratio by name.
     components.update(bench_spec_decode(3 if smoke else 5))
+    # Fault-recovery overhead: pinned-seed fault campaign vs its fault-free
+    # twin; informational only (no min_s/speedup keys), see the docstring.
+    components.update(bench_chaos_recovery(rounds))
     if not smoke:
         components["keyformer_score_update_1025"] = bench_score_update(
             KeyformerPolicy, 1025, fast_rounds

@@ -32,6 +32,8 @@ would in a dedicated single-sequence run.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.core.policies import EvictionPolicy
@@ -43,6 +45,7 @@ from repro.kvcache.paged import (
     PrefixMatch,
     PrefixRegistry,
     pages_needed,
+    tag_fault_row,
 )
 from repro.kvcache.stats import CacheStats
 from repro.models.positional import RopeTable, get_rope_table
@@ -50,6 +53,26 @@ from repro.models.positional import RopeTable, get_rope_table
 __all__ = ["BatchedLayerKVCache", "BatchedCacheManager", "BatchedLayerView"]
 
 _MIN_CAPACITY = 16
+
+
+class _RowSnapshot:
+    """Pre-step state of one row (see :meth:`BatchedCacheManager.snapshot_row`)."""
+
+    __slots__ = ("tables", "policy", "total_appended", "total_evicted", "step_lengths")
+
+    def __init__(
+        self,
+        tables: list[PageTable],
+        policy: EvictionPolicy,
+        total_appended: int,
+        total_evicted: int,
+        step_lengths: list[int],
+    ):
+        self.tables = tables
+        self.policy = policy
+        self.total_appended = total_appended
+        self.total_evicted = total_evicted
+        self.step_lengths = step_lengths
 
 
 class BatchedLayerKVCache:
@@ -485,10 +508,10 @@ class BatchedCacheManager:
                 else:
                     cache.join_row(row, keys, values, pos_bht)
         except Exception:
-            # A mid-join PoolExhausted must not leak the pages already seeded
-            # into earlier layers — unwind so the engine can preempt and retry.
-            for cache in self.caches:
-                cache.pool.release_table(cache.tables[row])
+            # A mid-join failure must not leak the pages already seeded into
+            # earlier layers — unwind so the engine can preempt and retry.
+            # The row has no stats entry yet (it is appended below).
+            self.unwind_row(row, [0] * self.n_layers, adjust_stats=False)
             raise
         if prompt_token_ids is not None:
             self.registry.register(
@@ -595,6 +618,136 @@ class BatchedCacheManager:
         self.retire(row)
 
     # ------------------------------------------------------------------
+    # fault unwinding and row snapshots
+    # ------------------------------------------------------------------
+    def row_lengths(self, row: int) -> list[int]:
+        """Per-layer live token counts of one row — capture these *before* a
+        multi-write operation so :meth:`unwind_row` can roll it back."""
+        return [cache.tables[row].length for cache in self.caches]
+
+    def unwind_row(
+        self, row: int, lengths_before: list[int], adjust_stats: bool = True
+    ) -> int:
+        """Roll back one row's partial appends to the captured lengths.
+
+        The single unwind path shared by every append-style failure: a
+        mid-join seed, a fault mid decode-step append, or a speculative
+        verify round that died after ``append_block_row``.  Per layer: a row
+        that had no tokens before releases its table outright (this also
+        drops freshly mapped shared-prefix pages); otherwise the extra
+        appended tokens are truncated and any trailing page a partially
+        failed append allocated but never filled is released.  Returns the
+        number of unwound token-appends (summed over layers); when
+        ``adjust_stats`` the row's ``total_appended`` is decremented by it.
+
+        Only *appends* are unwound — evictions (gather) are irreversible, so
+        a step that may evict must be protected by :meth:`snapshot_row`
+        instead.
+        """
+        unwound = 0
+        ps = self.store.page_size
+        for layer, cache in enumerate(self.caches):
+            table = cache.tables[row]
+            before = int(lengths_before[layer])
+            if before == 0:
+                if table.pages:
+                    unwound += table.length
+                    cache.pool.release_table(table)
+                continue
+            extra = table.length - before
+            if extra > 0:
+                cache.pool.truncate(table, extra)
+                unwound += extra
+            keep = pages_needed(table.end, ps)
+            if len(table.pages) > keep:
+                cache.pool.release(table.pages[keep:])
+                table.pages = table.pages[:keep]
+        if adjust_stats and unwound and row < len(self.stats):
+            self.stats[row].total_appended -= unwound
+        return unwound
+
+    def snapshot_row(self, row: int) -> "_RowSnapshot":
+        """Copy-on-write snapshot of one row's full per-step mutable state.
+
+        Forks the row's page tables (retaining their pages, so subsequent
+        writes copy-on-write into fresh pages and the snapshot content stays
+        pristine — including int8 quantization parameters, which
+        copy-on-write duplicates alongside the codes), deep-copies the row's
+        eviction policy, and captures the step-scoped stats counters.  Every
+        snapshot must be consumed by exactly one of :meth:`restore_row` or
+        :meth:`discard_row_snapshot`, or its page references leak.
+        """
+        tables = []
+        for cache in self.caches:
+            fork = cache.tables[row].clone()
+            cache.pool.retain(fork.pages)
+            tables.append(fork)
+        stats = self.stats[row]
+        return _RowSnapshot(
+            tables,
+            copy.deepcopy(self.policies[row]),
+            stats.total_appended,
+            stats.total_evicted,
+            list(self._step_lengths[row]),
+        )
+
+    def restore_row(self, row: int, snapshot: "_RowSnapshot") -> None:
+        """Reinstate a row's state from :meth:`snapshot_row`, consuming it.
+
+        The snapshot's forked tables become the live tables (its retained
+        page references transfer), so a restored snapshot must **not** also
+        be discarded.  Restoring replays the row to the exact pre-step state
+        — the basis of the survivors-stay-bit-exact quarantine guarantee.
+        """
+        for cache, fork in zip(self.caches, snapshot.tables):
+            cache.pool.release_table(cache.tables[row])
+            cache.tables[row] = fork
+        self.policies[row] = snapshot.policy
+        stats = self.stats[row]
+        stats.total_appended = snapshot.total_appended
+        stats.total_evicted = snapshot.total_evicted
+        self._step_lengths[row] = list(snapshot.step_lengths)
+        self._qpos = None
+
+    def discard_row_snapshot(self, snapshot: "_RowSnapshot") -> None:
+        """Release an unused snapshot's page references (the success path)."""
+        for cache, fork in zip(self.caches, snapshot.tables):
+            cache.pool.release_table(fork)
+
+    # ------------------------------------------------------------------
+    # integrity auditing
+    # ------------------------------------------------------------------
+    def check_invariants(
+        self, extra_tables_per_layer: list[list[PageTable]] | None = None
+    ) -> list[str]:
+        """Audit the store against this manager's complete ownership map.
+
+        Active rows' tables plus ``extra_tables_per_layer`` (live forks held
+        outside the manager — drafter snapshots, in-flight row snapshots)
+        must account for every page reference alongside the registry's pins;
+        inactive row slots must be empty.  Returns all violations (empty
+        list = clean); see :meth:`BlockPool.check_invariants`.
+        """
+        violations: list[str] = []
+        owners: list[list[PageTable]] = []
+        for layer, cache in enumerate(self.caches):
+            for idx in range(self.n_active, cache.max_batch):
+                table = cache.tables[idx]
+                if table.pages or table.length or table.offset:
+                    violations.append(
+                        f"layer {layer}: inactive row slot {idx} is not empty "
+                        f"({len(table.pages)} pages, length {table.length})"
+                    )
+            tables = list(cache.tables[: self.n_active])
+            if extra_tables_per_layer is not None:
+                tables.extend(extra_tables_per_layer[layer])
+            owners.append(tables)
+        violations.extend(
+            self.store.check_invariants(owners, self.registry.pinned_pages())
+        )
+        return violations
+
+    # ------------------------------------------------------------------
     # decode phase
     # ------------------------------------------------------------------
     def layer_views(self) -> list[BatchedLayerView]:
@@ -654,22 +807,26 @@ class BatchedCacheManager:
         """Feed each row's exact-length logits/probs slice to its own policy."""
         cache = self.caches[layer_idx]
         for row in range(self.n_active):
-            policy = self.policies[row]
-            length = cache.tables[row].length
-            selection = policy.step_selection(
-                layer_idx,
-                logits[row : row + 1, :, :length],
-                probs[row : row + 1, :, :length],
-                cache.positions_row(row),
-                self.generation_step[row] + 1,
-            )
-            if selection is None:
-                continue
-            if getattr(policy, "shared_selection", False):
-                for idx in range(self.n_layers):
-                    self._apply_row_selection(idx, row, selection)
-            else:
-                self._apply_row_selection(layer_idx, row, selection)
+            try:
+                policy = self.policies[row]
+                length = cache.tables[row].length
+                selection = policy.step_selection(
+                    layer_idx,
+                    logits[row : row + 1, :, :length],
+                    probs[row : row + 1, :, :length],
+                    cache.positions_row(row),
+                    self.generation_step[row] + 1,
+                )
+                if selection is None:
+                    continue
+                if getattr(policy, "shared_selection", False):
+                    for idx in range(self.n_layers):
+                        self._apply_row_selection(idx, row, selection)
+                else:
+                    self._apply_row_selection(layer_idx, row, selection)
+            except Exception as exc:
+                tag_fault_row(exc, row)
+                raise
 
     def advance(self) -> None:
         """Mark the end of one batched decoding step for every active sequence."""

@@ -266,7 +266,15 @@ class CacheManager:
         ]
         self.stats.kv_token_bytes = self.store.pools[0].kv_token_nbytes()
         self.stats.total_appended += prompt_len * self.n_layers
-        self._apply_prompt_selections(prompt_attn, prompt_logits, prompt_len)
+        try:
+            self._apply_prompt_selections(prompt_attn, prompt_logits, prompt_len)
+        except Exception:
+            # A mid-eviction failure (PoolExhausted from a copy-on-write
+            # gather, or an injected allocation fault) must not leak the
+            # freshly mapped pages — release them so the caller can preempt
+            # or quarantine with the pool intact.
+            self.release()
+            raise
 
     def initialize_empty(self, batch_size: int, max_new_tokens: int, prompt_len: int = 1) -> None:
         """Start decoding with empty caches (used in unit tests and microbenchmarks)."""

@@ -50,6 +50,7 @@ from repro.models.positional import RopeTable, get_rope_table
 __all__ = [
     "DEFAULT_PAGE_SIZE",
     "PoolExhausted",
+    "PoolIntegrityError",
     "PageTable",
     "BlockPool",
     "PagedKVStore",
@@ -68,6 +69,26 @@ def pages_needed(n_tokens: int, page_size: int) -> int:
 
 class PoolExhausted(RuntimeError):
     """Raised when a fixed-size pool cannot allocate and nothing is reclaimable."""
+
+
+class PoolIntegrityError(RuntimeError):
+    """A pool-integrity audit (:meth:`BlockPool.check_invariants`) failed."""
+
+
+def tag_fault_row(exc: BaseException, row: int) -> None:
+    """Tag ``exc`` with the batch row whose work raised it (best effort).
+
+    Row-scoped loops over a batch (pool appends, per-row policy observation)
+    call this so the serving engine's quarantine handler can attribute an
+    arbitrary mid-batch exception to the one row it belongs to.  First
+    writer wins: an exception propagating through nested row loops keeps
+    the innermost attribution.
+    """
+    if getattr(exc, "fault_row", None) is None:
+        try:
+            exc.fault_row = row
+        except AttributeError:
+            pass  # exceptions with __slots__ cannot carry the tag
 
 
 class PageTable:
@@ -145,6 +166,10 @@ class BlockPool:
             self.rope_table = get_rope_table(self.rope_dims)
         self.growable = growable
         self.reclaimer: Callable[[int], int] | None = None
+        #: Optional fault-injection callback consulted at the top of every
+        #: allocation (see :class:`repro.serving.faults.FaultInjector`); it
+        #: raises to simulate an allocation failure before any state mutates.
+        self.fault_hook: Callable[[], None] | None = None
 
         n_slots = n_pages * self.page_size
         storage = self._storage_dtype()
@@ -306,6 +331,10 @@ class BlockPool:
         """
         if n <= 0:
             return []
+        if self.fault_hook is not None:
+            # Fires before any mutation, so an injected allocation fault
+            # leaves the pool exactly as it was.
+            self.fault_hook()
         if len(self._free) < n:
             if self.growable:
                 self._grow(self.used_pages + n)
@@ -346,6 +375,95 @@ class BlockPool:
         table.pages = []
         table.offset = 0
         table.length = 0
+
+    # ------------------------------------------------------------------
+    # integrity auditing
+    # ------------------------------------------------------------------
+    def check_invariants(
+        self,
+        owners: Sequence[PageTable] | None = None,
+        pinned: Iterable[int] = (),
+        label: str = "pool",
+    ) -> list[str]:
+        """Audit the pool's bookkeeping; returns violation strings (empty = clean).
+
+        Internal consistency is always checked: non-negative refcounts, a
+        duplicate-free free list containing exactly the refcount-zero pages,
+        and the shared-page counter matching the refcounts.  When ``owners``
+        is not ``None`` it must be the **complete** enumeration of live page
+        tables mapping this pool; together with ``pinned`` (one entry per
+        registry pin, duplicates allowed) the per-page reference totals are
+        then cross-checked exactly — any mismatch is a leaked or corrupted
+        page.  ``label`` prefixes each violation for multi-pool reports.
+        """
+        violations: list[str] = []
+        n_pages = self.n_pages
+        refcounts = self.refcounts
+
+        negative = np.flatnonzero(refcounts < 0)
+        if negative.size:
+            violations.append(f"{label}: negative refcounts at pages {negative.tolist()}")
+
+        free_counts: dict[int, int] = {}
+        for page in self._free:
+            free_counts[page] = free_counts.get(page, 0) + 1
+        for page, count in free_counts.items():
+            if not 0 <= page < n_pages:
+                violations.append(f"{label}: free-list page {page} out of range")
+            elif count > 1:
+                violations.append(f"{label}: page {page} on the free list {count} times")
+            elif refcounts[page] != 0:
+                violations.append(
+                    f"{label}: page {page} is free but has refcount {int(refcounts[page])}"
+                )
+        lost = [
+            page
+            for page in np.flatnonzero(refcounts == 0).tolist()
+            if page not in free_counts
+        ]
+        if lost:
+            violations.append(
+                f"{label}: pages {lost} have refcount 0 but are not on the free list"
+            )
+
+        n_shared_actual = int((refcounts >= 2).sum())
+        if self._n_shared != n_shared_actual:
+            violations.append(
+                f"{label}: shared-page counter {self._n_shared} != "
+                f"{n_shared_actual} pages with refcount >= 2"
+            )
+
+        if owners is None:
+            return violations
+
+        expected = np.zeros(n_pages, dtype=np.int64)
+        for t, table in enumerate(owners):
+            if not 0 <= table.offset < max(self.page_size, 1) and table.pages:
+                violations.append(
+                    f"{label}: table {t} offset {table.offset} outside [0, page_size)"
+                )
+            if table.length < 0 or table.end > table.allocated(self.page_size):
+                violations.append(
+                    f"{label}: table {t} spans {table.end} slots but maps only "
+                    f"{table.allocated(self.page_size)}"
+                )
+            for page in table.pages:
+                if not 0 <= page < n_pages:
+                    violations.append(f"{label}: table {t} maps page {page} out of range")
+                else:
+                    expected[page] += 1
+        for page in pinned:
+            if not 0 <= page < n_pages:
+                violations.append(f"{label}: pinned page {page} out of range")
+            else:
+                expected[page] += 1
+        mismatched = np.flatnonzero(expected != refcounts)
+        for page in mismatched.tolist():
+            violations.append(
+                f"{label}: page {page} refcount {int(refcounts[page])} != "
+                f"{int(expected[page])} live references (tables + pins)"
+            )
+        return violations
 
     # ------------------------------------------------------------------
     # slot arithmetic
@@ -546,7 +664,14 @@ class BlockPool:
             return
         slots = np.empty(len(tables), dtype=np.int64)
         for i, table in enumerate(tables):
-            slots[i] = self._append_slot(table)
+            try:
+                slots[i] = self._append_slot(table)
+            except Exception as exc:
+                # Rows before i already consumed their slot but their length
+                # was not bumped; the engine's snapshot/restore quarantine
+                # rolls the whole step back, so attribution is all we add.
+                tag_fault_row(exc, i)
+                raise
         positions = np.asarray(positions, dtype=np.int64)
         self._k[:, slots] = k.transpose(1, 0, 2)
         self._v[:, slots] = v.transpose(1, 0, 2)
@@ -894,6 +1019,36 @@ class PagedKVStore:
         i.e. the sum of every pool's :meth:`BlockPool.nbytes`."""
         return sum(pool.nbytes() for pool in self.pools)
 
+    def check_invariants(
+        self,
+        owner_tables_per_layer: Sequence[Sequence[PageTable]] | None = None,
+        pinned_per_layer: Sequence[Iterable[int]] | None = None,
+    ) -> list[str]:
+        """Audit every layer pool (see :meth:`BlockPool.check_invariants`).
+
+        ``owner_tables_per_layer[layer]`` enumerates all live page tables
+        mapping layer ``layer``; ``pinned_per_layer`` the registry pins
+        (typically :meth:`PrefixRegistry.pinned_pages`).  Both may be
+        ``None`` to skip the cross-reference check.  Returns the combined
+        violation list, each entry labelled with its layer.
+        """
+        violations: list[str] = []
+        for layer, pool in enumerate(self.pools):
+            violations.extend(
+                pool.check_invariants(
+                    owners=(
+                        owner_tables_per_layer[layer]
+                        if owner_tables_per_layer is not None
+                        else None
+                    ),
+                    pinned=(
+                        pinned_per_layer[layer] if pinned_per_layer is not None else ()
+                    ),
+                    label=f"layer {layer}",
+                )
+            )
+        return violations
+
 
 class PrefixMatch:
     """Result of a registry lookup: a mapped page-aligned prompt prefix."""
@@ -1063,6 +1218,19 @@ class PrefixRegistry:
         if chunk.parent is not None and chunk.parent in self._chunks:
             self._chunks[chunk.parent].children.discard(chunk.key)
         del self._chunks[chunk.key]
+
+    def pinned_pages(self) -> list[list[int]]:
+        """Per-layer page ids the registry currently pins (one per chunk).
+
+        Feed this as ``pinned_per_layer`` to
+        :meth:`PagedKVStore.check_invariants` so registry refcounts are
+        accounted for in the cross-reference audit.
+        """
+        pinned: list[list[int]] = [[] for _ in range(self.store.n_layers)]
+        for chunk in self._chunks.values():
+            for layer, page in enumerate(chunk.pages_per_layer):
+                pinned[layer].append(page)
+        return pinned
 
     def clear(self) -> None:
         """Drop every registered chunk (leaf-first), releasing all pins."""

@@ -59,7 +59,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.kvcache.paged import BlockPool, PageTable
+from repro.kvcache.paged import BlockPool, PageTable, tag_fault_row
 
 __all__ = ["QuantizedBlockPool", "QMAX", "QUANT_STEPS"]
 
@@ -260,9 +260,75 @@ class QuantizedBlockPool(BlockPool):
             return
         positions = np.asarray(positions, dtype=np.int64)
         for i, table in enumerate(tables):
-            slot = self._append_slot(table)
-            self._store_token(slot, k[i], v[i], int(positions[i]))
+            try:
+                slot = self._append_slot(table)
+                self._store_token(slot, k[i], v[i], int(positions[i]))
+            except Exception as exc:
+                tag_fault_row(exc, i)
+                raise
             table.length += 1
+
+    # ------------------------------------------------------------------
+    # integrity auditing
+    # ------------------------------------------------------------------
+    def check_invariants(
+        self,
+        owners: Sequence[PageTable] | None = None,
+        pinned: Sequence[int] = (),
+        label: str = "pool",
+    ) -> list[str]:
+        """Base-pool audit plus the quantization-state invariants.
+
+        For every quantized stream: the four per-page parameter tensors keep
+        shape ``(n_pages, n_heads)`` (they must grow in lockstep with the
+        slabs), every tracked range is either empty (``lo=+inf, hi=-inf``,
+        the post-``alloc`` reset state) or finite with ``lo <= hi``, scales
+        are finite and positive, and ``(scale, zero)`` equal the pure
+        recomputation :meth:`_params_from` of the running range — the
+        determinism contract says parameters are a function of the range,
+        never of stale history.
+        """
+        violations = super().check_invariants(owners=owners, pinned=pinned, label=label)
+        shape = (self.n_pages, self.n_heads)
+        for name in self._qnames:
+            scale, zero = self._qscale[name], self._qzero[name]
+            lo, hi = self._qlo[name], self._qhi[name]
+            for tensor_name, tensor in (
+                ("scale", scale), ("zero", zero), ("lo", lo), ("hi", hi)
+            ):
+                if tensor.shape != shape:
+                    violations.append(
+                        f"{label}: quant {name}/{tensor_name} shape "
+                        f"{tensor.shape} != slab page count {shape}"
+                    )
+            if any(t.shape != shape for t in (scale, zero, lo, hi)):
+                continue  # elementwise checks below assume aligned shapes
+            empty = np.isinf(lo) & np.isinf(hi) & (lo > 0) & (hi < 0)
+            tracked = ~empty
+            bad_range = tracked & ~(np.isfinite(lo) & np.isfinite(hi) & (lo <= hi))
+            for page in np.flatnonzero(bad_range.any(axis=1)).tolist():
+                violations.append(
+                    f"{label}: quant {name} page {page} range is neither empty "
+                    "nor a finite lo <= hi interval"
+                )
+            bad_scale = ~(np.isfinite(scale) & (scale > 0))
+            for page in np.flatnonzero(bad_scale.any(axis=1)).tolist():
+                violations.append(
+                    f"{label}: quant {name} page {page} has non-finite or "
+                    "non-positive scale"
+                )
+            if tracked.any():
+                with np.errstate(invalid="ignore", over="ignore"):
+                    want_scale, want_zero = self._params_from(lo, hi)
+                stale = tracked & (
+                    (scale != want_scale) | (zero != want_zero)
+                )
+                for page in np.flatnonzero(stale.any(axis=1)).tolist():
+                    violations.append(
+                        f"{label}: quant {name} page {page} (scale, zero) do not "
+                        "match recomputation from its running [lo, hi] range"
+                    )
+        return violations
 
     # ------------------------------------------------------------------
     # eviction hooks

@@ -3,20 +3,32 @@
 Requests decode together over the paged KV store with prefix sharing and
 memory-aware (page-granular) admission; see ``docs/serving.md`` for the
 request lifecycle, scheduler budgets, preemption and the batching
-bit-exactness invariants, and ``docs/kvcache.md`` for the storage layer.
+bit-exactness invariants, ``docs/robustness.md`` for the fault-tolerance
+layer (fault injection, row quarantine, deadlines/retries, pool auditing),
+and ``docs/kvcache.md`` for the storage layer.
 """
 
 from repro.serving.engine import BatchedGenerator, ContinuousBatchingEngine
+from repro.serving.faults import (
+    EngineWatchdog,
+    FaultInjector,
+    InjectedFault,
+    LivelockError,
+)
 from repro.serving.request import FinishReason, Request, RequestState, RequestStatus
 from repro.serving.scheduler import FCFSScheduler, PagedScheduler
 
 __all__ = [
     "BatchedGenerator",
     "ContinuousBatchingEngine",
+    "EngineWatchdog",
     "FCFSScheduler",
+    "FaultInjector",
+    "FinishReason",
+    "InjectedFault",
+    "LivelockError",
     "PagedScheduler",
     "Request",
     "RequestState",
     "RequestStatus",
-    "FinishReason",
 ]

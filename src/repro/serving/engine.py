@@ -43,10 +43,26 @@ composition, admission order, prefix sharing, preemption and retirement
 timing can never change *what* any request generates — only *when*.
 At float32 the engine switches to fully batched BLAS projections and masked
 padded attention (the documented inference tolerance mode) for throughput.
+
+Fault tolerance
+---------------
+The engine optionally runs with a request-lifecycle fault-tolerance layer
+(see ``docs/robustness.md``): a deterministic
+:class:`~repro.serving.faults.FaultInjector` exercises the failure paths, an
+exception in one row's step is **quarantined** — only that row retires
+(:attr:`FinishReason.ERROR`) or is retried through the preempt-and-restart
+machinery with deterministic step-based backoff, while the surviving rows
+replay the step bit-exactly from copy-on-write snapshots — and per-request
+step-count deadlines (:attr:`FinishReason.TIMEOUT`), load-shedding admission
+(:attr:`FinishReason.SHED`) and an
+:class:`~repro.serving.faults.EngineWatchdog` bound how long anything can go
+wrong quietly.  :meth:`ContinuousBatchingEngine.check_invariants` audits the
+paged store's refcounts against every live page-table reference.
 """
 
 from __future__ import annotations
 
+import traceback as _traceback
 from typing import Callable, Sequence
 
 import numpy as np
@@ -59,8 +75,10 @@ from repro.kvcache.paged import (
     DEFAULT_PAGE_SIZE,
     PagedKVStore,
     PoolExhausted,
+    PoolIntegrityError,
     PrefixMatch,
 )
+from repro.serving.faults import EngineWatchdog, FaultInjector
 from repro.kvcache.stats import CacheStats
 from repro.models.config import GenerationConfig
 from repro.models.tensor_ops import log_softmax
@@ -78,6 +96,12 @@ from repro.speculative.drafter import (
 from repro.speculative.telemetry import SpeculationStats
 
 __all__ = ["ContinuousBatchingEngine", "BatchedGenerator"]
+
+#: ``_prefill`` outcomes: the admission loop dispatches on these.
+_PREFILL_JOINED = 1  # the request is running (truthy, for callers that gate on it)
+_PREFILL_BLOCKED = 0  # pool could not fund the join; a victim was preempted
+_PREFILL_FAILED_RETRY = 2  # quarantined fault; requeued with retry backoff
+_PREFILL_FAILED_FINAL = 3  # quarantined fault; retired with FinishReason.ERROR
 
 
 class ContinuousBatchingEngine:
@@ -138,6 +162,38 @@ class ContinuousBatchingEngine:
         bit-identical to its non-speculative run.  Self-drafting rows hold
         their drafter page tables in the engine's own store; admission,
         FCFS ordering and newest-first preemption work unchanged.
+    faults:
+        Optional :class:`~repro.serving.faults.FaultInjector` whose seeded
+        schedule fires :class:`~repro.serving.faults.InjectedFault` at the
+        page-allocation, prefill, decode, verify and draft injection points.
+        Installing one turns fault tolerance on (see ``fault_tolerant``).
+    fault_tolerant:
+        Force the quarantine machinery on (``True``) or off (``False``);
+        ``None`` (default) enables it exactly when ``faults`` is given.
+        When off, a non-``PoolExhausted`` exception propagates as before.
+    max_retries:
+        Quarantined transient faults restart a request this many times
+        (through the preempt-and-restart machinery) before it retires with
+        :attr:`FinishReason.ERROR`.  ``0`` (default) fails on first fault.
+    retry_backoff_steps:
+        Base of the deterministic step-count backoff between retries: retry
+        ``r`` (0-based) waits ``retry_backoff_steps * 2**r`` engine steps.
+    deadline_steps:
+        Default per-request step-count deadline (``submit`` can override):
+        a request still unfinished after this many engine steps since its
+        submission retires with :attr:`FinishReason.TIMEOUT`.  The clock is
+        end-to-end; preemptions and retries do not reset it.
+    shed_queue_depth:
+        Load-shedding admission: once the queue holds at least this many
+        requests *and* the fixed pool is pressed below its admission
+        watermark, new submissions finish immediately with
+        :attr:`FinishReason.SHED` instead of queueing.  ``None`` disables.
+    watchdog:
+        ``True`` (default) installs an
+        :class:`~repro.serving.faults.EngineWatchdog` with default patience;
+        pass an instance to tune it, or ``False``/``None`` to disable.  It
+        only observes steps that had work, so polling an idle engine never
+        trips it.
     """
 
     def __init__(
@@ -154,11 +210,52 @@ class ContinuousBatchingEngine:
         kv_dtype: str | None = None,
         enable_prefix_sharing: bool = True,
         speculation: SpeculationConfig | None = None,
+        faults: FaultInjector | None = None,
+        fault_tolerant: bool | None = None,
+        max_retries: int = 0,
+        retry_backoff_steps: int = 4,
+        deadline_steps: int | None = None,
+        shed_queue_depth: int | None = None,
+        watchdog: EngineWatchdog | bool | None = True,
     ):
         self.model = model
         self.policy_factory = policy_factory or FullAttentionPolicy
         self.positional_mode = positional_mode
         self.scheduler = scheduler or PagedScheduler(max_batch_size, max_total_tokens)
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if retry_backoff_steps < 0:
+            raise ValueError("retry_backoff_steps must be non-negative")
+        if deadline_steps is not None and deadline_steps <= 0:
+            raise ValueError("deadline_steps must be positive (or None)")
+        if shed_queue_depth is not None and shed_queue_depth <= 0:
+            raise ValueError("shed_queue_depth must be positive (or None)")
+        self.faults = faults
+        self.fault_tolerant = (
+            faults is not None if fault_tolerant is None else bool(fault_tolerant)
+        )
+        self.max_retries = int(max_retries)
+        self.retry_backoff_steps = int(retry_backoff_steps)
+        self.deadline_steps = deadline_steps
+        self.shed_queue_depth = shed_queue_depth
+        if watchdog is True:
+            self.watchdog: EngineWatchdog | None = EngineWatchdog()
+        elif watchdog is False or watchdog is None:
+            self.watchdog = None
+        else:
+            self.watchdog = watchdog
+        #: Engine steps executed — the clock deadlines and backoff run on.
+        self.step_count = 0
+        #: Tokens committed to request outputs (watchdog progress signal).
+        self.n_tokens_recorded = 0
+        #: Faults quarantined (injected or organic), counting each retry.
+        self.n_faults = 0
+        #: Automatic retries granted after quarantined faults.
+        self.n_retries = 0
+        #: Requests retired with :attr:`FinishReason.TIMEOUT`.
+        self.n_timeouts = 0
+        #: Requests refused at submission with :attr:`FinishReason.SHED`.
+        self.n_shed = 0
         self.page_size = int(page_size)
         self.kv_dtype = kv_dtype
         if max_pool_bytes is not None:
@@ -228,8 +325,14 @@ class ContinuousBatchingEngine:
         config: GenerationConfig | None = None,
         sampler: Sampler | None = None,
         policy: EvictionPolicy | None = None,
+        deadline_steps: int | None = None,
     ) -> RequestState:
-        """Queue one request; returns its state handle (results after finish)."""
+        """Queue one request; returns its state handle (results after finish).
+
+        ``deadline_steps`` overrides the engine default for this request; the
+        submission may also be refused outright (``FinishReason.SHED``) when
+        load shedding is configured and the engine is saturated.
+        """
         config = config or GenerationConfig()
         request = Request.from_config(self._next_id, prompt_ids, config)
         # A lone request must be able to grow to its worst case (plus one
@@ -280,9 +383,39 @@ class ContinuousBatchingEngine:
             sampler=sampler,
             policy=policy,
             sampler_factory=sampler_factory,
+            deadline_steps=(
+                deadline_steps if deadline_steps is not None else self.deadline_steps
+            ),
+            submitted_step=self.step_count,
         )
+        if self._should_shed():
+            self.n_shed += 1
+            self._finish_unjoined(state, FinishReason.SHED)
+            return state
         self.scheduler.submit(state)
         return state
+
+    def _should_shed(self) -> bool:
+        """Load-shedding admission check: deep queue *and* pool pressure."""
+        if self.shed_queue_depth is None:
+            return False
+        if len(self.scheduler) < self.shed_queue_depth:
+            return False
+        return self._pool_pressed()
+
+    def _pool_pressed(self) -> bool:
+        """True when the fixed pool is below the scheduler's admission
+        watermark (counting reclaimable registry pages) — the same headroom
+        rule :class:`PagedScheduler` admits against."""
+        if self._manager is None:
+            return False
+        store = self._manager.store
+        if store.growable:
+            return False
+        reclaimable = self._manager.registry.reclaimable_pages()
+        watermark = getattr(self.scheduler, "watermark", 0.1)
+        headroom = max(int(watermark * store.pools[0].n_pages), 1)
+        return store.min_free_pages() + reclaimable <= headroom
 
     def abort(self, request_id: int) -> bool:
         """Cancel a request wherever it currently lives.
@@ -294,10 +427,7 @@ class ContinuousBatchingEngine:
         """
         state = self.scheduler.cancel(request_id)
         if state is not None:
-            state.status = RequestStatus.FINISHED
-            state.finish_reason = FinishReason.ABORTED
-            state.cache_stats = CacheStats()
-            self._finished.append(state)
+            self._finish_unjoined(state, FinishReason.ABORTED)
             return True
         for row, running in enumerate(self._states):
             if running.request_id == request_id:
@@ -354,10 +484,32 @@ class ContinuousBatchingEngine:
         draft-then-verify round per running request (rows advance by 1 to
         ``k + 1`` tokens); admission, preemption and FCFS semantics are
         unchanged.
+
+        Each call also advances the fault-tolerance clock: the step counter
+        ticks, expired deadlines retire (:attr:`FinishReason.TIMEOUT`), and
+        the watchdog observes progress (only on steps that had work, so
+        polling an idle engine never trips it).
         """
-        if self.speculation is not None:
-            return self._step_speculative()
         n_done = len(self._finished)
+        had_work = self.has_work
+        tokens_before = self.n_tokens_recorded
+        preempts_before = self.n_preemptions
+        self.step_count += 1
+        self._expire_deadlines()
+        if self.speculation is not None:
+            self._step_speculative()
+        else:
+            self._step_vanilla()
+        finished = self._finished[n_done:]
+        if self.watchdog is not None and had_work:
+            self.watchdog.observe(
+                bool(finished) or self.n_tokens_recorded > tokens_before,
+                self.n_preemptions - preempts_before,
+            )
+        return finished
+
+    def _step_vanilla(self) -> None:
+        """The non-speculative step body: record, admit, decode."""
         self._record_rows(range(len(self._states)))
         joined = self._admit_and_prefill()
         if joined:
@@ -369,7 +521,6 @@ class ContinuousBatchingEngine:
                 [row for row, st in enumerate(self._states) if id(st) in members]
             )
         self._decode()
-        return self._finished[n_done:]
 
     def run(self) -> list[RequestState]:
         """Run until the queue and the batch are both empty; returns all
@@ -378,6 +529,97 @@ class ContinuousBatchingEngine:
         while self.has_work:
             self.step()
         return self._finished[n_done:]
+
+    # ------------------------------------------------------------------
+    # fault tolerance: deadlines, retries, quarantine
+    # ------------------------------------------------------------------
+    def _finish_unjoined(self, state: RequestState, reason: FinishReason) -> None:
+        """Finish a request that never held a cache row (shed, queued-abort,
+        queued-timeout, final prefill failure) — nothing to release."""
+        state.status = RequestStatus.FINISHED
+        state.finish_reason = reason
+        state.pending_token = None
+        state.cache_stats = CacheStats()
+        self._finished.append(state)
+
+    def _deadline_exceeded(self, state: RequestState) -> bool:
+        if state.deadline_steps is None:
+            return False
+        return self.step_count - state.submitted_step > state.deadline_steps
+
+    def _expire_deadlines(self) -> None:
+        """Retire every request past its step-count deadline.
+
+        The clock is end-to-end from submission: queue wait, preemptions and
+        retry backoff all count against it, so a deadline bounds total
+        latency rather than active compute.
+        """
+        expired = [
+            row
+            for row, state in enumerate(self._states)
+            if self._deadline_exceeded(state)
+        ]
+        # Highest row first: each retirement moves the last row into the
+        # freed slot, which never disturbs a lower expired row.
+        for row in sorted(expired, reverse=True):
+            self.n_timeouts += 1
+            self._retire(row, FinishReason.TIMEOUT)
+        for state in list(self.scheduler.pending):
+            if self._deadline_exceeded(state):
+                self.scheduler.cancel(state.request_id)
+                self.n_timeouts += 1
+                self._finish_unjoined(state, FinishReason.TIMEOUT)
+
+    def _record_fault(self, state: RequestState, exc: BaseException) -> None:
+        """Stamp the fault's message and traceback onto the request state."""
+        self.n_faults += 1
+        state.error = f"{type(exc).__name__}: {exc}"
+        state.error_traceback = "".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+
+    def _backoff(self, state: RequestState) -> int:
+        """Deterministic exponential step-count backoff for the next retry."""
+        return self.retry_backoff_steps * (2 ** state.retries)
+
+    def _fault_row_of(self, exc: BaseException) -> int | None:
+        """Attribute an exception to a running row, if possible.
+
+        Low-level code tags exceptions with ``fault_row`` (a batch row index)
+        via :func:`~repro.kvcache.paged.tag_fault_row`; injected faults carry
+        the ``request_id`` they fired for.  Returns ``None`` when neither
+        resolves — the caller must re-raise rather than guess.
+        """
+        row = getattr(exc, "fault_row", None)
+        if row is not None and 0 <= row < len(self._states):
+            return int(row)
+        request_id = getattr(exc, "request_id", None)
+        if request_id is not None:
+            for row, state in enumerate(self._states):
+                if state.request_id == request_id:
+                    return row
+        return None
+
+    def _quarantine_row(self, row: int, exc: BaseException) -> None:
+        """Retire (or retry) one faulted running row; the batch continues.
+
+        With retry budget left the row goes back through the
+        preempt-and-restart machinery — pages freed, generation state reset,
+        requeued behind its backoff window — so its eventual output is
+        bit-identical to a fault-free run.  Otherwise it retires with
+        :attr:`FinishReason.ERROR` carrying the fault's message + traceback.
+        """
+        state = self._states[row]
+        self._record_fault(state, exc)
+        if state.retries < self.max_retries:
+            self.n_retries += 1
+            self._release_spec(state)
+            self._manager.release_row(row)
+            self._drop_row(row)
+            state.reset_for_retry(self.step_count + self._backoff(state))
+            self.scheduler.requeue(state)
+        else:
+            self._retire(row, FinishReason.ERROR)
 
     def _admit_and_prefill(self) -> list[RequestState]:
         """Admit queued requests in FCFS order and prefill them.
@@ -400,27 +642,37 @@ class ContinuousBatchingEngine:
             tokens_in_flight,
             store=self._manager.store if self._manager is not None else None,
             registry=self._manager.registry if self._manager is not None else None,
+            now_step=self.step_count,
         )
         joined: list[RequestState] = []
         for i, state in enumerate(admitted):
-            if self._prefill(state):
+            outcome = self._prefill(state)
+            if outcome == _PREFILL_JOINED:
                 joined.append(state)
                 continue
-            self.scheduler.requeue_many(admitted[i:])
+            if outcome == _PREFILL_FAILED_FINAL:
+                continue  # retired with ERROR; younger admissions may proceed
+            if outcome == _PREFILL_FAILED_RETRY:
+                # The failing request is already requeued (with backoff);
+                # younger admissions go back behind it in arrival order.
+                self.scheduler.requeue_many(admitted[i + 1 :])
+            else:  # _PREFILL_BLOCKED: pool could not fund the join
+                self.scheduler.requeue_many(admitted[i:])
             break
-        if not self._states and not joined and len(self.scheduler):
+        if not self._states and not joined and not admitted and len(self.scheduler):
             head = self.scheduler.pending[0]
-            raise PoolExhausted(
-                f"request {head.request_id} (prompt {head.request.prompt_len} "
-                f"tokens) cannot be admitted even into an idle pool — raise "
-                "max_pool_tokens or lower the scheduler watermark"
-            )
+            if head.retry_at <= self.step_count:
+                raise PoolExhausted(
+                    f"request {head.request_id} (prompt {head.request.prompt_len} "
+                    f"tokens) cannot be admitted even into an idle pool — raise "
+                    "max_pool_tokens or lower the scheduler watermark"
+                )
         return joined
 
     # ------------------------------------------------------------------
     # speculative stepping
     # ------------------------------------------------------------------
-    def _step_speculative(self) -> list[RequestState]:
+    def _step_speculative(self) -> None:
         """One engine step in speculation mode.
 
         Admission and prefill are shared with the vanilla path; the decode
@@ -429,7 +681,6 @@ class ContinuousBatchingEngine:
         retirement's persistent-batch move (last row into the freed slot)
         only ever touches rows already handled this step.
         """
-        n_done = len(self._finished)
         joined_ids = set(map(id, self._admit_and_prefill()))
         # Record each joined request's first sampled token (vanilla defers
         # this to the next step's bookkeeping; speculation records inline).
@@ -452,7 +703,6 @@ class ContinuousBatchingEngine:
                 continue
             processed.add(id(state))
             self._spec_round(row)
-        return self._finished[n_done:]
 
     def _spec_round(self, row: int) -> None:
         """One draft-then-verify round for one running row.
@@ -476,8 +726,16 @@ class ContinuousBatchingEngine:
                     return  # this row was the preemption victim
             row = next(i for i, st in enumerate(self._states) if st is state)
         remaining = state.request.max_new_tokens - len(state.tokens)
-        target = BatchedRowVerifyTarget(self.model, self._manager, row)
+        target = BatchedRowVerifyTarget(
+            self.model,
+            self._manager,
+            row,
+            faults=self.faults,
+            request_id=state.request_id,
+        )
         try:
+            if self.faults is not None:
+                self.faults.check("draft", state.request_id)
             commits = run_round(
                 target,
                 drafter,
@@ -496,13 +754,27 @@ class ContinuousBatchingEngine:
             # drafter and fall back to model-free n-gram drafting.  Its
             # pages return to the pool, and the verify path alone fits any
             # request submit() accepted — progress is guaranteed, and by the
-            # verification contract the output is unchanged.
+            # verification contract the output is unchanged.  The stats
+            # object stays live with the fallback (not through
+            # ``_release_spec``, which would merge it into the discarded
+            # aggregate and double-count every round at retirement).
             carried_steps = drafter.draft_steps
-            self._release_spec(state)
+            del self._spec[state.request_id]
+            drafter.release()
             fallback = NgramDrafter(state.request.prompt_ids[0], self.speculation)
             fallback.note_committed(state.tokens)
             fallback.draft_steps = carried_steps
             self._spec[state.request_id] = (fallback, stats)
+            return
+        except Exception as exc:
+            if not self.fault_tolerant:
+                raise
+            # Quarantine: the verify adapter already unwound its partial
+            # appends; roll the drafter back to the round start, then retire
+            # or retry this row alone — the other rows are untouched (rounds
+            # are strictly row-at-a-time).
+            drafter.abort_round()
+            self._quarantine_row(row, exc)
             return
         self._spec_commit(row, commits)
 
@@ -514,6 +786,7 @@ class ContinuousBatchingEngine:
         fire on the final committed token only.
         """
         state = self._states[row]
+        self.n_tokens_recorded += len(commits)
         finish: FinishReason | None = None
         for token, logprob in commits:
             state.tokens.append(int(token))
@@ -574,10 +847,14 @@ class ContinuousBatchingEngine:
     # ------------------------------------------------------------------
     # phases
     # ------------------------------------------------------------------
-    def _prefill(self, state: RequestState) -> bool:
+    def _prefill(self, state: RequestState) -> int:
         """Prompt phase for one admitted request + row join + first-token
-        sampling.  Returns ``False`` when the pool could not fund the join
-        (a victim was preempted; the caller requeues the request).
+        sampling.  Returns one of the ``_PREFILL_*`` outcome codes:
+        ``_PREFILL_JOINED`` (truthy) on success, ``_PREFILL_BLOCKED`` when
+        the pool could not fund the join (a victim was preempted; the caller
+        requeues the request), or — under fault tolerance — the two
+        quarantine outcomes ``_PREFILL_FAILED_RETRY`` /
+        ``_PREFILL_FAILED_FINAL``.
 
         Runs the full prompt forward (identical math to
         ``Generator._prompt_forward``) unless a registered prefix of the
@@ -607,6 +884,8 @@ class ContinuousBatchingEngine:
             match = self._manager.registry.match(prompt[0], max_tokens=prompt_len - 2)
 
         try:
+            if self.faults is not None:
+                self.faults.check("prefill", state.request_id)
             if match is not None:
                 row, next_row = self._prefill_shared(state, match)
                 computed = prompt_len - match.length
@@ -616,13 +895,14 @@ class ContinuousBatchingEngine:
             if self.speculation is not None:
                 # The drafter seeds against the just-joined row (mapping its
                 # prompt pages for self-drafting); a failed seed must not
-                # leak the row, so unwind it before taking the preempt path.
+                # leak the row, so unwind it before taking the preempt (or
+                # quarantine) path.
                 try:
                     self._spec[state.request_id] = (
                         self._build_drafter(state, row),
                         SpeculationStats(),
                     )
-                except PoolExhausted:
+                except Exception:
                     self._manager.release_row(row)
                     raise
         except PoolExhausted:
@@ -633,7 +913,14 @@ class ContinuousBatchingEngine:
             if not self._states:
                 raise  # nothing to preempt — the pool simply cannot fit it
             self._preempt_newest()
-            return False
+            return _PREFILL_BLOCKED
+        except Exception as exc:
+            # ``join`` and the drafter seed both unwind their own pages on
+            # failure, so the store is clean here; quarantine the request
+            # alone (running rows are untouched by a prefill).
+            if not self.fault_tolerant:
+                raise
+            return self._prefill_failure(state, exc)
         finally:
             # The prompt-attention tensors are only needed between prefill
             # and drafter seeding; holding the dense (1, H, T, T) arrays any
@@ -663,7 +950,21 @@ class ContinuousBatchingEngine:
         state.status = RequestStatus.RUNNING
         state.admitted_seq = self._admit_seq
         self._admit_seq += 1
-        return True
+        return _PREFILL_JOINED
+
+    def _prefill_failure(self, state: RequestState, exc: BaseException) -> int:
+        """Quarantine a faulted prefill: retry with backoff or retire with
+        :attr:`FinishReason.ERROR`.  The request never joined a row, so only
+        its (possibly seeded) drafter needs tearing down."""
+        self._release_spec(state)
+        self._record_fault(state, exc)
+        if state.retries < self.max_retries:
+            self.n_retries += 1
+            state.reset_for_retry(self.step_count + self._backoff(state))
+            self.scheduler.requeue(state)
+            return _PREFILL_FAILED_RETRY
+        self._finish_unjoined(state, FinishReason.ERROR)
+        return _PREFILL_FAILED_FINAL
 
     def _prefill_full(self, state: RequestState) -> tuple[int, np.ndarray]:
         """Whole-prompt forward pass; registers the prompt for future sharing."""
@@ -739,6 +1040,7 @@ class ContinuousBatchingEngine:
         else:
             row_logits = self._next_logits[np.asarray(rows)]
         logprobs = log_softmax(row_logits, axis=-1)
+        self.n_tokens_recorded += len(rows)
         finishing: list[tuple[int, FinishReason]] = []
         for i, row in enumerate(rows):
             state = self._states[row]
@@ -821,10 +1123,59 @@ class ContinuousBatchingEngine:
             self._preempt_newest()
 
     def _decode(self) -> None:
-        """One batched decode step + per-request sampling of the next token."""
+        """One batched decode step + per-request sampling of the next token.
+
+        Under fault tolerance the step runs against per-row copy-on-write
+        snapshots: an exception restores every row to its pre-step pages
+        (unwinding partial appends in already-processed layers), quarantines
+        the faulted row alone, and replays the step for the survivors —
+        whose tokens and log-probabilities are therefore bit-identical to a
+        fault-free run (the batched math is row-independent, and sampler
+        state only advances after a successful forward).
+        """
         if not self._states:
             return
-        self._ensure_decode_capacity()
+        if not self.fault_tolerant:
+            self._ensure_decode_capacity()
+            if self._states:
+                self._decode_step_once()
+            return
+        while self._states:
+            self._ensure_decode_capacity()
+            if not self._states:
+                return
+            snapshots = [
+                self._manager.snapshot_row(row) for row in range(len(self._states))
+            ]
+            try:
+                self._decode_step_once(check_faults=True)
+            except Exception as exc:
+                # Restore every row first: partial appends from the failed
+                # pass vanish and the pristine pre-step pages come back.
+                for row in range(len(self._states) - 1, -1, -1):
+                    self._manager.restore_row(row, snapshots[row])
+                if isinstance(exc, PoolExhausted):
+                    # Snapshots share all pages, so every append goes through
+                    # copy-on-write and the capacity check undercounts; treat
+                    # a mid-step exhaustion as ordinary pressure.
+                    if len(self._states) > 1:
+                        self._preempt_newest()
+                        continue
+                    raise
+                row = self._fault_row_of(exc)
+                if row is None:
+                    raise  # not attributable to one row — not quarantinable
+                self._quarantine_row(row, exc)
+                continue
+            for snapshot in snapshots:
+                self._manager.discard_row_snapshot(snapshot)
+            return
+
+    def _decode_step_once(self, check_faults: bool = False) -> None:
+        """The raw batched decode pass + sampling (one attempt, no recovery)."""
+        if check_faults and self.faults is not None:
+            for state in self._states:
+                self.faults.check("decode", state.request_id)
         tokens = np.asarray([st.pending_token for st in self._states], dtype=np.int64)
         positions = self._manager.query_positions()
         self._next_logits = self.model.decode_step_batch(
@@ -851,6 +1202,58 @@ class ContinuousBatchingEngine:
             kv_dtype=self.kv_dtype,
         )
         self._layer_views = self._manager.layer_views()
+        if self.faults is not None:
+            # Wire the page-allocation injection point straight into the
+            # pools: every alloc (join, decode append, COW, verify block)
+            # consults the injector before mutating pool state.
+            hook = self.faults.hook("page_alloc")
+            for pool in self._manager.store.pools:
+                pool.fault_hook = hook
+
+    # ------------------------------------------------------------------
+    # auditing & telemetry
+    # ------------------------------------------------------------------
+    def check_invariants(self, strict: bool = True) -> list[str]:
+        """Audit the paged store against every live page-table reference.
+
+        Collects the page tables of all running rows, registry-pinned prefix
+        chunks and live drafters (self-drafting rows hold tables in the
+        engine's own store), and verifies pool refcounts, free-list
+        consistency and quantization-parameter agreement via
+        :meth:`BatchedCacheManager.check_invariants`.  Returns the list of
+        violation descriptions; with ``strict`` (default) a non-empty list
+        raises :class:`~repro.kvcache.paged.PoolIntegrityError` instead.
+        """
+        if self._manager is None:
+            return []
+        extras: list[list] | None = None
+        if self._spec:
+            extras = [[] for _ in range(self._manager.n_layers)]
+            for drafter, _stats in self._spec.values():
+                for layer, tables in enumerate(
+                    drafter.live_tables(self._manager.store)
+                ):
+                    extras[layer].extend(tables)
+        violations = self._manager.check_invariants(extras)
+        if strict and violations:
+            raise PoolIntegrityError(
+                f"{len(violations)} pool-integrity violation(s):\n  "
+                + "\n  ".join(violations)
+            )
+        return violations
+
+    def fault_telemetry(self) -> dict:
+        """Fault-tolerance counters (all zero when the layer is idle)."""
+        return {
+            "steps": self.step_count,
+            "tokens_recorded": self.n_tokens_recorded,
+            "faults": self.n_faults,
+            "retries": self.n_retries,
+            "timeouts": self.n_timeouts,
+            "shed": self.n_shed,
+            "preemptions": self.n_preemptions,
+            "faults_fired": len(self.faults.fired) if self.faults is not None else 0,
+        }
 
 
 def _merge_results(results: Sequence[GenerationResult]) -> GenerationResult:

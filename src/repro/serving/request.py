@@ -37,11 +37,22 @@ class RequestStatus(enum.Enum):
 
 
 class FinishReason(enum.Enum):
-    """Why a request retired from the batch."""
+    """Why a request retired from the batch.
+
+    ``EOS`` and ``LENGTH`` are the normal completions.  The rest form the
+    error taxonomy of the fault-tolerance layer (``docs/robustness.md``):
+    ``ABORTED`` is a client cancellation, ``ERROR`` a quarantined exception
+    (message and traceback preserved on the state), ``TIMEOUT`` a missed
+    step-count deadline, and ``SHED`` a request refused at admission under
+    queue-depth + pool-pressure overload.
+    """
 
     EOS = "eos"  # sampled the end-of-sequence token
     LENGTH = "length"  # reached max_new_tokens
     ABORTED = "aborted"  # cancelled by the client before finishing
+    ERROR = "error"  # quarantined after an unrecovered exception in its row
+    TIMEOUT = "timeout"  # exceeded its step-count deadline
+    SHED = "shed"  # load-shed at submission (queue depth + pool pressure)
 
 
 @dataclass(frozen=True)
@@ -124,6 +135,22 @@ class RequestState:
     pending_logprob: float = 0.0
     #: Draft/verify telemetry when the engine ran this request speculatively.
     speculation: dict = field(default_factory=dict)
+    #: Step-count deadline: the request times out once the engine has run
+    #: this many steps since submission (``None`` = no deadline).  The clock
+    #: is end-to-end — preemptions and retries do not reset it.
+    deadline_steps: int | None = None
+    #: Engine step counter value at submission (deadline epoch).
+    submitted_step: int = 0
+    #: Automatic retries consumed after quarantined transient faults.
+    retries: int = 0
+    #: Engine step before which the scheduler must not re-admit this request
+    #: (deterministic exponential backoff between retries).
+    retry_at: int = 0
+    #: Message of the last quarantined exception (``FinishReason.ERROR``
+    #: keeps the final one; retries overwrite it on each new fault).
+    error: str | None = None
+    #: Full traceback text of the last quarantined exception.
+    error_traceback: str | None = None
 
     @property
     def request_id(self) -> int:
@@ -135,13 +162,13 @@ class RequestState:
         """True once the request retired (EOS, budget or abort)."""
         return self.status is RequestStatus.FINISHED
 
-    def reset_for_requeue(self) -> None:
-        """Return to the queued state after preemption.
+    def _reset_generation(self) -> None:
+        """Discard all generated state so the request restarts from scratch.
 
-        Generation restarts from scratch on re-admission: the eviction policy
-        is re-``setup`` at join and the sampler is rebuilt from its factory,
-        so the rerun is bit-identical to an uninterrupted run — preemption
-        can change *when* a request finishes, never *what* it generates.
+        The eviction policy is re-``setup`` at join and the sampler is
+        rebuilt from its factory, so the rerun is bit-identical to an
+        uninterrupted run — a restart can change *when* a request finishes,
+        never *what* it generates.
         """
         self.tokens.clear()
         self.total_logprob = 0.0
@@ -153,9 +180,24 @@ class RequestState:
         self.cache_stats = None
         self.n_steps = 0
         self.admitted_seq = -1
-        self.preemptions += 1
         if self.sampler_factory is not None:
             self.sampler = self.sampler_factory()
+
+    def reset_for_requeue(self) -> None:
+        """Return to the queued state after preemption."""
+        self._reset_generation()
+        self.preemptions += 1
+
+    def reset_for_retry(self, retry_at: int) -> None:
+        """Return to the queued state after a quarantined transient fault.
+
+        Same restart as :meth:`reset_for_requeue` but counted as a retry
+        (not a preemption), with re-admission blocked until engine step
+        ``retry_at`` — the deterministic backoff window.
+        """
+        self._reset_generation()
+        self.retries += 1
+        self.retry_at = retry_at
 
     def result(self) -> GenerationResult:
         """The finished request's output in :class:`GenerationResult` form.

@@ -78,18 +78,28 @@ class FCFSScheduler:
         self._queue.append(state)
 
     def requeue(self, state: RequestState) -> None:
-        """Put a preempted request back at the head of the queue.
+        """Put a preempted request back into the queue, in arrival order.
 
-        The engine preempts newest-admitted-first, so successive ``requeue``
-        calls restore the original arrival order at the front of the queue —
-        FCFS completion semantics survive preemption.
+        The queue is kept sorted by ``request_id`` (ids are monotonic at
+        submission), so a requeued request slots in ahead of every younger
+        entry but *behind* any older one — FCFS completion semantics survive
+        interleaved preemption and failed-admission requeues.  A plain
+        ``appendleft`` inverted priority when a preemption victim (old) and a
+        request whose prefill failed (young) were requeued in the same step.
         """
-        self._queue.appendleft(state)
+        at = 0
+        for queued in self._queue:
+            if queued.request_id < state.request_id:
+                at += 1
+            else:
+                break
+        self._queue.insert(at, state)
 
     def requeue_many(self, states: list[RequestState]) -> None:
-        """Put several requests (in arrival order) back at the queue head."""
-        for state in reversed(states):
-            self._queue.appendleft(state)
+        """Requeue several requests, preserving arrival order (see
+        :meth:`requeue`)."""
+        for state in states:
+            self.requeue(state)
 
     def cancel(self, request_id: int) -> RequestState | None:
         """Remove a queued request; returns its state (or ``None`` if absent)."""
@@ -121,6 +131,7 @@ class FCFSScheduler:
         tokens_in_flight: int,
         store: "PagedKVStore | None" = None,
         registry: "PrefixRegistry | None" = None,
+        now_step: int = 0,
     ) -> list[RequestState]:
         """Pop every queued request that fits the current budgets, in order.
 
@@ -133,11 +144,18 @@ class FCFSScheduler:
         store, registry:
             Accepted (and ignored) so the engine can drive either scheduler
             through one call signature; :class:`PagedScheduler` uses them.
+        now_step:
+            The engine's current step counter; a head request still inside
+            its retry-backoff window (``retry_at > now_step``) blocks the
+            line until the window elapses (head-of-line blocking, like every
+            other admission rule).
         """
         admitted: list[RequestState] = []
         while self._queue:
             head = self._queue[0]
             if n_running + len(admitted) >= self.max_batch_size:
+                break
+            if head.retry_at > now_step:
                 break
             if not self._fits(head, tokens_in_flight):
                 break
@@ -178,6 +196,7 @@ class PagedScheduler(FCFSScheduler):
         tokens_in_flight: int,
         store: "PagedKVStore | None" = None,
         registry: "PrefixRegistry | None" = None,
+        now_step: int = 0,
     ) -> list[RequestState]:
         """Pop queued requests whose prompt pages fit the tightest layer
         pool above the watermark (see the class docstring); falls back to
@@ -187,6 +206,8 @@ class PagedScheduler(FCFSScheduler):
         while self._queue:
             head = self._queue[0]
             if n_running + len(admitted) >= self.max_batch_size:
+                break
+            if head.retry_at > now_step:
                 break
             if not self._fits(head, tokens_in_flight):
                 break

@@ -76,36 +76,43 @@ class SoloVerifyTarget:
 class BatchedRowVerifyTarget:
     """Verify-side adapter over one row of the serving engine's batched cache.
 
-    A mid-pass :class:`~repro.kvcache.paged.PoolExhausted` (fixed pools under
-    memory pressure) leaves earlier layers with the block already appended;
-    the adapter unwinds those partial appends before re-raising so the engine
-    can preempt and retry with the row's cache intact.
+    Any mid-pass exception — :class:`~repro.kvcache.paged.PoolExhausted`
+    under memory pressure, or an injected verify/allocation fault — leaves
+    earlier layers with the block already appended; the adapter unwinds those
+    partial appends (via the manager's shared ``unwind_row`` helper) before
+    re-raising, so the engine can preempt-and-retry or quarantine with the
+    row's cache intact.
     """
 
-    def __init__(self, model: DecoderLM, manager: "BatchedCacheManager", row: int):
+    def __init__(
+        self,
+        model: DecoderLM,
+        manager: "BatchedCacheManager",
+        row: int,
+        faults=None,
+        request_id: int | None = None,
+    ):
         self.model = model
         self.manager = manager
         self.row = row
+        self.faults = faults
+        self.request_id = request_id
 
     def verify(self, tokens: np.ndarray) -> np.ndarray:
         """Score ``tokens`` against row ``row``'s page tables."""
-        from repro.kvcache.paged import PoolExhausted
-
         manager = self.manager
+        if self.faults is not None:
+            self.faults.check("verify", self.request_id)
         start = manager.current_position[self.row]
         positions = np.arange(start, start + len(tokens))
         views = manager.row_verify_views(self.row)
-        before = manager.caches[0].tables[self.row].length
+        lengths_before = manager.row_lengths(self.row)
         try:
             return self.model.verify_step(tokens, positions, views)
-        except PoolExhausted:
-            for cache in manager.caches:
-                table = cache.tables[self.row]
-                if table.length > before:
-                    # Revert both the pages and the append accounting — the
-                    # retried round will count these tokens again.
-                    manager.stats[self.row].total_appended -= table.length - before
-                    cache.pool.truncate(table, table.length - before)
+        except Exception:
+            # Revert both the pages and the append accounting — a retried
+            # round will count these tokens again.
+            manager.unwind_row(self.row, lengths_before)
             raise
 
     def commit(self, n_committed: int, n_appended: int) -> None:

@@ -85,6 +85,16 @@ class Drafter(ABC):
     def release(self) -> None:
         """Free any cache pages the drafter holds (teardown / preemption)."""
 
+    def live_tables(self, store: "PagedKVStore | None" = None) -> list[list["PageTable"]]:
+        """Per-layer page tables this drafter holds in ``store``.
+
+        Used by pool-integrity audits to account for every live page
+        reference.  Model-free drafters hold none; a :class:`PolicyDrafter`
+        whose cache lives in a *different* store also reports none for a
+        foreign ``store``.
+        """
+        return []
+
     def describe(self) -> dict:
         """Human-readable summary for results and telemetry."""
         return {"drafter": type(self).__name__}
@@ -300,6 +310,27 @@ class PolicyDrafter(Drafter):
         self._snaps = []
         self._round_start = None
         self.manager.release()
+
+    def live_tables(self, store: "PagedKVStore | None" = None) -> list[list["PageTable"]]:
+        """Per-layer tables of the live cache plus every un-discarded snapshot.
+
+        Reports nothing when ``store`` is given and this drafter's cache
+        lives elsewhere (a separate drafter model stores pages in its own
+        pools, which the serving store's audit must not count).
+        """
+        mgr = self.manager
+        if not mgr.caches:
+            return []
+        if store is not None and mgr.caches[0].pool is not store.pools[0]:
+            return []
+        per_layer = [list(cache.tables) for cache in mgr.caches]
+        snapshots = list(self._snaps)
+        if self._round_start is not None:
+            snapshots.append(self._round_start)
+        for snap in snapshots:
+            for layer, tables in enumerate(snap.tables):
+                per_layer[layer].extend(tables)
+        return per_layer
 
     def describe(self) -> dict:
         """Summary of the drafting policy for results/telemetry."""
