@@ -8,8 +8,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Written into the workspace (and gitignored) rather than /tmp so concurrent
 # CI jobs on one runner never clobber each other's reports.
 BENCH_SMOKE_OUT ?= BENCH_smoke.json
+LOAD_REPORT_OUT ?= load_report.json
 
-.PHONY: test test-cov bench bench-smoke bench-gate lint docs-check serve-demo chaos check
+.PHONY: test test-cov bench bench-smoke bench-gate lint docs-check serve-demo chaos load load-smoke check
 
 test:
 	$(PYTHON) -m pytest -x -q tests
@@ -35,16 +36,27 @@ lint:
 	ruff check .
 	ruff format --check .
 
-# The CI docs job: every docs page reachable from README with no dead links,
-# plus pydocstyle (ruff D) docstring rules on the kvcache, serving and
-# speculative subsystems (and the tools they ship with) so the newest code
-# stays documented.
+# The CI docs job: every docs page reachable from README with no dead links
+# or stale `path/to/file` references, plus pydocstyle (ruff D) docstring
+# rules on the kvcache, serving and speculative subsystems, the tools they
+# ship with, and the benchmark runner, so the newest code stays documented.
 docs-check:
 	$(PYTHON) tools/check_docs.py
-	ruff check --select D100,D101,D102,D103,D104,D419 src/repro/kvcache src/repro/speculative src/repro/serving tools
+	ruff check --select D100,D101,D102,D103,D104,D419 src/repro/kvcache src/repro/speculative src/repro/serving tools benchmarks/run_bench.py
 
 serve-demo:
 	$(PYTHON) examples/serving_demo.py
+
+# Trace-driven load harness: seeded workload replayed in virtual step-time,
+# latency-percentile + goodput report written to $(LOAD_REPORT_OUT).  The
+# smoke variant runs a pinned tiny trace twice and fails unless the two
+# reports are byte-identical with a complete schema (the CI determinism
+# gate; see docs/workloads.md).
+load:
+	$(PYTHON) tools/run_load.py --output $(LOAD_REPORT_OUT)
+
+load-smoke:
+	$(PYTHON) tools/run_load.py --smoke --output $(LOAD_REPORT_OUT)
 
 # Pinned 1000-step seeded fault-injection campaign (the CI chaos job): every
 # injection point fires, per-step pool-integrity audits stay clean, survivors

@@ -159,11 +159,13 @@ def bench_generation(model: DecoderLM, policy_name: str, prompt_len: int, rounds
 
 
 def bench_prompt_forward(model: DecoderLM, prompt_len: int, rounds: int) -> dict:
+    """Time one full-sequence forward pass over a random prompt."""
     ids = np.random.default_rng(0).integers(0, 256, size=(1, prompt_len))
     return _time(None, lambda: model.forward(ids), rounds)
 
 
 def bench_cache_gather(length: int, rounds: int) -> dict:
+    """Time scattered-eviction compaction (``LayerKVCache.gather``)."""
     rng = np.random.default_rng(2)
     keys = rng.normal(size=(4, 8, length, 64))
     indices = np.sort(rng.choice(length, size=(4, 8, length // 2), replace=True), axis=-1)
@@ -182,6 +184,7 @@ def bench_cache_gather(length: int, rounds: int) -> dict:
 
 
 def bench_cache_append(length: int, n_appends: int, rounds: int) -> dict:
+    """Time repeated single-token KV appends at a given resident length."""
     rng = np.random.default_rng(3)
     keys = rng.normal(size=(1, 8, length, 64))
     k = rng.normal(size=(1, 8, 64))
@@ -197,6 +200,7 @@ def bench_cache_append(length: int, n_appends: int, rounds: int) -> dict:
 
 
 def bench_score_update(policy_cls, length: int, rounds: int) -> dict:
+    """Time one policy score-accumulator update at a given context length."""
     rng = np.random.default_rng(4)
     logits = rng.normal(size=(1, 32, length))
     probs = softmax(logits, axis=-1)
@@ -214,6 +218,7 @@ def bench_score_update(policy_cls, length: int, rounds: int) -> dict:
 
 
 def bench_mixed_topk(length: int, rounds: int) -> dict:
+    """Time the mixed recent+top-k selection kernel."""
     scores = np.random.default_rng(5).normal(size=(4, 32, length))
     return _time(None, lambda: mixed_topk_selection(scores, length // 2, length // 8), rounds)
 
@@ -608,6 +613,130 @@ def bench_chaos_recovery(rounds: int) -> dict[str, dict]:
     }
 
 
+# ----------------------------------------------------------------------
+# trace-driven load latency: percentile telemetry + chunked-prefill gate
+# ----------------------------------------------------------------------
+def bench_load_latency() -> dict[str, dict]:
+    """Latency-distribution components from trace replays in virtual time.
+
+    Both components are **deterministic**: the load harness measures TTFT /
+    TPOT in virtual step-time (an analytical cost per engine step — see
+    ``docs/workloads.md``), so the same pinned trace yields the same
+    percentiles on every machine, and identical values in smoke and full
+    runs.
+
+    * ``load_ttft_zipf_trace`` — informational p50/p99 TTFT and TPOT plus
+      goodput for a Zipf-shared mixed-length trace under the priority
+      scheduler with chunked prefill (the harness's default shape).
+    * ``load_chunked_ttft_gain_32`` — **gated** ratio: interactive-tier p99
+      TTFT of the unchunked scheduler divided by the chunked one (budget 32)
+      on a trace mixing a few long batch-tier prompts into a stream of short
+      interactive ones, at equal throughput (the ``throughput_ratio`` key
+      records how close).  Chunking caps the stall a long prefill inflicts
+      on its neighbours, which is exactly what the interactive tail sees.
+    """
+    from repro.perfmodel.serving import StepCostModel
+    from repro.serving.slo import (
+        TIER_BATCH,
+        TIER_INTERACTIVE,
+        PriorityScheduler,
+        SLOSpec,
+    )
+    from repro.serving.workload import (
+        Trace,
+        TraceEvent,
+        WorkloadConfig,
+        generate_trace,
+        replay_trace,
+    )
+
+    config = ModelConfig(
+        vocab_size=128,
+        d_model=64,
+        n_layers=2,
+        n_heads=4,
+        d_ff=128,
+        max_seq_len=512,
+        positional="rope",
+    )
+    model = DecoderLM(config, seed=0)
+    cost = StepCostModel()
+
+    def replay(trace, chunk_tokens, max_batch_size=8):
+        scheduler = PriorityScheduler(
+            max_batch_size=max_batch_size, prefill_chunk_tokens=chunk_tokens
+        )
+        engine = ContinuousBatchingEngine(model, scheduler=scheduler)
+        result = replay_trace(
+            engine, trace, cost, slo=SLOSpec.three_tier(ttft=200.0, e2e=1200.0)
+        )
+        return result.report.to_dict(), result.engine_stats
+
+    # Percentile telemetry: Zipf-shared, mixed prompt/output lengths.
+    zipf_trace = generate_trace(
+        WorkloadConfig(
+            n_requests=32,
+            vocab_size=128,
+            arrival="bursty",
+            mean_interarrival=8.0,
+            prompt_len_range=(8, 96),
+            output_len_choices=(4, 16, 48),
+            output_len_weights=(0.3, 0.5, 0.2),
+            tier_weights={TIER_BATCH: 0.3, 1: 0.5, TIER_INTERACTIVE: 0.2},
+        ),
+        seed=0,
+    )
+    zipf_report, zipf_stats = replay(zipf_trace, chunk_tokens=32, max_batch_size=4)
+
+    # Chunked-prefill gate geometry: every 7th request is a long batch-tier
+    # prompt; the rest are short interactive ones whose TTFT tail measures
+    # the prefill stall.  Prompts are unique (no shared prefix) so prefix
+    # sharing cannot shortcut the long prefills under test.
+    rng = np.random.default_rng(0)
+    events = []
+    t = 0.0
+    for i in range(28):
+        t += float(rng.exponential(4.0))
+        if i % 7 == 0:
+            prompt = tuple(int(x) for x in rng.integers(0, 128, size=300))
+            events.append(TraceEvent(t, prompt, 16, priority=TIER_BATCH))
+        else:
+            prompt = tuple(int(x) for x in rng.integers(0, 128, size=12))
+            events.append(TraceEvent(t, prompt, 8, priority=TIER_INTERACTIVE))
+    gate_trace = Trace(events=tuple(events), seed=0)
+
+    unchunked, _ = replay(gate_trace, chunk_tokens=None)
+    chunked, chunk_stats = replay(gate_trace, chunk_tokens=32)
+    tier = str(TIER_INTERACTIVE)
+    p99_unchunked = unchunked["per_tier"][tier]["ttft"]["p99"]
+    p99_chunked = chunked["per_tier"][tier]["ttft"]["p99"]
+    throughput_ratio = (
+        chunked["throughput"]["tokens_per_time"]
+        / unchunked["throughput"]["tokens_per_time"]
+    )
+
+    return {
+        "load_ttft_zipf_trace": {
+            "ttft_p50": zipf_report["ttft"]["p50"],
+            "ttft_p99": zipf_report["ttft"]["p99"],
+            "tpot_p50": zipf_report["tpot"]["p50"],
+            "tpot_p99": zipf_report["tpot"]["p99"],
+            "goodput": zipf_report["goodput"],
+            "n_requests": zipf_report["n_requests"],
+            "n_prefill_chunks": zipf_stats["n_prefill_chunks"],
+            "rounds": 1,
+        },
+        "load_chunked_ttft_gain_32": {
+            "speedup": round(p99_unchunked / p99_chunked, 2),
+            "ttft_p99_unchunked": p99_unchunked,
+            "ttft_p99_chunked": p99_chunked,
+            "throughput_ratio": round(throughput_ratio, 3),
+            "n_prefill_chunks": chunk_stats["n_prefill_chunks"],
+            "rounds": 1,
+        },
+    }
+
+
 def run_suite(smoke: bool = False) -> dict:
     """Run every component and return ``name -> timing`` results.
 
@@ -671,6 +800,9 @@ def run_suite(smoke: bool = False) -> dict:
     # Fault-recovery overhead: pinned-seed fault campaign vs its fault-free
     # twin; informational only (no min_s/speedup keys), see the docstring.
     components.update(bench_chaos_recovery(rounds))
+    # Trace-driven load latency: deterministic virtual-time percentiles, the
+    # same in smoke and full runs; the chunked-prefill TTFT gain is gated.
+    components.update(bench_load_latency())
     if not smoke:
         components["keyformer_score_update_1025"] = bench_score_update(
             KeyformerPolicy, 1025, fast_rounds
@@ -681,6 +813,7 @@ def run_suite(smoke: bool = False) -> dict:
 
 
 def main() -> None:
+    """CLI entry point: run the suite (or --smoke subset) and write the report."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     parser.add_argument("--smoke", action="store_true", help="fast CI subset")

@@ -11,10 +11,13 @@ larger batch before running out of HBM capacity.
 from repro.perfmodel.hardware import HardwareSpec, A100_80GB
 from repro.perfmodel.memory import PerfModelSpec, MemoryModel, MPT_7B, GPT_J_6B, CEREBRAS_GPT_6_7B
 from repro.perfmodel.latency import LatencyModel, LatencyBreakdown, AttentionPolicyOverhead
+from repro.perfmodel.serving import StepCostModel, TTFTModel
 from repro.perfmodel.speculation import SpeculationModel, expected_tokens_per_round
 from repro.perfmodel.throughput import ThroughputModel, ThroughputResult
 
 __all__ = [
+    "StepCostModel",
+    "TTFTModel",
     "SpeculationModel",
     "expected_tokens_per_round",
     "HardwareSpec",

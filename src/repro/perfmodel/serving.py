@@ -1,0 +1,117 @@
+"""Analytical step-cost and expected-TTFT model for the serving harness.
+
+The load harness (``tools/run_load.py``, ``repro.serving.workload``) replays
+traces in **virtual step-time**: real wall-clock would make every latency
+percentile machine-dependent and every CI gate flaky, so instead each engine
+step is charged an analytical cost of what it computed.  The cost model is
+deliberately affine — the same shape the roofline model
+(:mod:`repro.perfmodel.latency`) predicts for a batched step once memory and
+compute overlap:
+
+``step_cost = fixed + per_prefill_token * prefill_tokens
+                    + per_decode_row * decode_rows``
+
+* ``fixed`` — kernel-launch / scheduling overhead every step pays.
+* ``per_prefill_token`` — the compute-bound prompt-processing term; a step
+  that prefills a 512-token prompt costs 512 of these, which is exactly the
+  stall every co-resident decode row experiences.  Chunked prefill caps this
+  term per step at the chunk budget.
+* ``per_decode_row`` — the memory-bound per-sequence decode term (weights +
+  KV stream per row).
+
+:class:`TTFTModel` turns the same three coefficients into closed-form
+expected TTFT for chunked vs. unchunked prefill and a per-step
+**decode-stall bound** — the number the chunked-prefill benchmark gate
+checks empirically (p99 TTFT improves when long prompts are chunked at
+equal throughput).  See ``docs/workloads.md`` for the derivation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["StepCostModel", "TTFTModel"]
+
+
+@dataclass(frozen=True)
+class StepCostModel:
+    """Affine virtual-time cost of one engine step.
+
+    Defaults make one decode row cost 1 virtual-time unit above the fixed
+    term and a prefill token one tenth of that — the ~10× compute-bound vs.
+    memory-bound gap the roofline model predicts for short prompts on
+    A100-class hardware.  Absolute units are arbitrary (virtual time); only
+    ratios matter for percentile comparisons.
+    """
+
+    fixed: float = 0.5
+    per_prefill_token: float = 0.1
+    per_decode_row: float = 1.0
+
+    def __post_init__(self):
+        if self.fixed < 0 or self.per_prefill_token < 0 or self.per_decode_row < 0:
+            raise ValueError("cost coefficients must be non-negative")
+        if self.fixed == 0 and self.per_prefill_token == 0 and self.per_decode_row == 0:
+            raise ValueError("at least one cost coefficient must be positive")
+
+    def step_cost(self, prefill_tokens: int, decode_rows: int) -> float:
+        """Virtual-time cost of a step that prefilled ``prefill_tokens``
+        prompt tokens and decoded ``decode_rows`` sequence rows."""
+        return (
+            self.fixed
+            + self.per_prefill_token * prefill_tokens
+            + self.per_decode_row * decode_rows
+        )
+
+
+@dataclass(frozen=True)
+class TTFTModel:
+    """Closed-form expected TTFT under chunked vs. unchunked prefill.
+
+    All formulas assume ``decode_rows`` co-resident sequences decoding at
+    the prompt's side and zero queue wait — they model the *prefill* part
+    of TTFT, which is the part chunking redistributes.
+    """
+
+    cost: StepCostModel
+
+    def unchunked_ttft(self, prompt_len: int, decode_rows: int = 0) -> float:
+        """Expected TTFT when the whole prompt prefills in one step.
+
+        One step computes ``prompt_len`` prefill tokens plus the resident
+        decode rows; the first output token is sampled in that same step.
+        """
+        return self.cost.step_cost(prompt_len, decode_rows)
+
+    def chunked_ttft(
+        self, prompt_len: int, chunk_tokens: int, decode_rows: int = 0
+    ) -> float:
+        """Expected TTFT when the prompt prefills in ``chunk_tokens`` chunks.
+
+        The engine absorbs a 1-token remainder into the previous chunk, so
+        the number of steps is ``ceil`` of the split with that adjustment;
+        every chunk step also pays the fixed cost and the resident decode
+        rows.  Chunking *raises* the long prompt's own TTFT — the win is
+        the neighbours' stall bound (:meth:`decode_stall_bound`), which is
+        what shows up in p99 TTFT across the whole trace.
+        """
+        if chunk_tokens < 2:
+            raise ValueError("chunk_tokens must be >= 2")
+        if prompt_len <= chunk_tokens + 1:
+            n_chunks = 1
+        else:
+            n_chunks = math.ceil(prompt_len / chunk_tokens)
+            # A trailing 1-token chunk is absorbed into its predecessor.
+            if prompt_len - (n_chunks - 1) * chunk_tokens == 1:
+                n_chunks -= 1
+        per_chunk = self.cost.step_cost(0, decode_rows)
+        return n_chunks * per_chunk + self.cost.per_prefill_token * prompt_len
+
+    def decode_stall_bound(self, chunk_tokens: int | None, max_prompt_len: int) -> float:
+        """Worst-case extra step time a decode row sees from a neighbour's
+        prefill: the whole prompt unchunked, one chunk's budget chunked
+        (+1 for the absorbed remainder)."""
+        if chunk_tokens is None:
+            return self.cost.per_prefill_token * max_prompt_len
+        return self.cost.per_prefill_token * min(chunk_tokens + 1, max_prompt_len)

@@ -5,7 +5,8 @@ memory-aware (page-granular) admission; see ``docs/serving.md`` for the
 request lifecycle, scheduler budgets, preemption and the batching
 bit-exactness invariants, ``docs/robustness.md`` for the fault-tolerance
 layer (fault injection, row quarantine, deadlines/retries, pool auditing),
-and ``docs/kvcache.md`` for the storage layer.
+``docs/workloads.md`` for the trace-driven load harness, SLO tiers and
+latency-percentile telemetry, and ``docs/kvcache.md`` for the storage layer.
 """
 
 from repro.serving.engine import BatchedGenerator, ContinuousBatchingEngine
@@ -17,6 +18,24 @@ from repro.serving.faults import (
 )
 from repro.serving.request import FinishReason, Request, RequestState, RequestStatus
 from repro.serving.scheduler import FCFSScheduler, PagedScheduler
+from repro.serving.slo import (
+    TIER_BATCH,
+    TIER_INTERACTIVE,
+    TIER_STANDARD,
+    LatencyRecord,
+    LatencyReport,
+    PriorityScheduler,
+    SLOSpec,
+    SLOTarget,
+)
+from repro.serving.workload import (
+    ReplayResult,
+    Trace,
+    TraceEvent,
+    WorkloadConfig,
+    generate_trace,
+    replay_trace,
+)
 
 __all__ = [
     "BatchedGenerator",
@@ -26,9 +45,23 @@ __all__ = [
     "FaultInjector",
     "FinishReason",
     "InjectedFault",
+    "LatencyRecord",
+    "LatencyReport",
     "LivelockError",
     "PagedScheduler",
+    "PriorityScheduler",
+    "ReplayResult",
     "Request",
     "RequestState",
     "RequestStatus",
+    "SLOSpec",
+    "SLOTarget",
+    "TIER_BATCH",
+    "TIER_INTERACTIVE",
+    "TIER_STANDARD",
+    "Trace",
+    "TraceEvent",
+    "WorkloadConfig",
+    "generate_trace",
+    "replay_trace",
 ]

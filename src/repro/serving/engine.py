@@ -81,6 +81,7 @@ from repro.kvcache.paged import (
 from repro.serving.faults import EngineWatchdog, FaultInjector
 from repro.kvcache.stats import CacheStats
 from repro.models.config import GenerationConfig
+from repro.models.positional import get_rope_table
 from repro.models.tensor_ops import log_softmax
 from repro.models.transformer import DecoderLM
 from repro.serving.request import FinishReason, Request, RequestState, RequestStatus
@@ -102,6 +103,48 @@ _PREFILL_JOINED = 1  # the request is running (truthy, for callers that gate on 
 _PREFILL_BLOCKED = 0  # pool could not fund the join; a victim was preempted
 _PREFILL_FAILED_RETRY = 2  # quarantined fault; requeued with retry backoff
 _PREFILL_FAILED_FINAL = 3  # quarantined fault; retired with FinishReason.ERROR
+_PREFILL_CHUNKED = 4  # first chunk ran; the request joins after its last chunk
+
+
+class _ChunkedPrefill:
+    """Engine-internal state of the (single) in-flight chunked prefill.
+
+    Accumulates the per-layer KV computed so far: raw keys/values for the
+    eventual :meth:`BatchedCacheManager.join` plus attention-form keys
+    (RoPE-rotated at their original positions; raw otherwise) that later
+    chunks attend over through :meth:`DecoderLM.forward_suffix`.  No pool
+    pages are touched until the final join, so abandoning an in-flight
+    chunked prefill (abort, deadline, quarantined fault) never leaks pool
+    state — the accumulated arrays are simply garbage-collected.
+    """
+
+    __slots__ = ("state", "chunk_tokens", "done", "k_raw", "v_cat", "k_attn",
+                 "complete", "next_row")
+
+    def __init__(self, state: RequestState, chunk_tokens: int):
+        self.state = state
+        self.chunk_tokens = int(chunk_tokens)
+        #: Prompt tokens computed so far (chunks are contiguous from 0).
+        self.done = 0
+        #: Per-layer raw (unrotated) keys, shape (1, H, done, d) — join input.
+        self.k_raw: list[np.ndarray] = []
+        #: Per-layer values, shape (1, H, done, d).
+        self.v_cat: list[np.ndarray] = []
+        #: Per-layer attention-form keys the next chunk attends over.
+        self.k_attn: list[np.ndarray] = []
+        self.complete = False
+        #: Last-token logits of the final chunk (the first-token sample).
+        self.next_row: np.ndarray | None = None
+
+    def next_chunk(self) -> int:
+        """Size of the next chunk: the budget, except that the final chunk
+        absorbs a would-be 1-token remainder (``forward_suffix`` needs >= 2
+        suffix tokens — the bit-stability floor of the chunked projections).
+        """
+        remaining = self.state.request.prompt_len - self.done
+        if remaining <= self.chunk_tokens + 1:
+            return remaining
+        return self.chunk_tokens
 
 
 class ContinuousBatchingEngine:
@@ -121,7 +164,20 @@ class ContinuousBatchingEngine:
         agree — the batched attention step applies one mode.
     scheduler:
         Admission scheduler; defaults to a :class:`PagedScheduler` built from
-        ``max_batch_size``/``max_total_tokens``.
+        ``max_batch_size``/``max_total_tokens``.  Passing a
+        :class:`~repro.serving.slo.PriorityScheduler` additionally enables
+        priority-tier admission and priority preemption.
+    prefill_chunk_tokens:
+        Chunked-prefill budget: prompts longer than this run one chunk of at
+        most this many tokens per engine step instead of a single monolithic
+        prefill step, so running decode rows (and other admissions)
+        interleave between chunks — the knob that bounds how long one long
+        prompt can stall everyone else's step.  Stored on the scheduler
+        (it shapes admission timing); ``None`` (default) disables chunking.
+        Chunking is skipped per request for policies that consume prompt
+        attention (Keyformer, H2O), for prompts with a resident shared
+        prefix (the mapped-prefix path is already cheap), and in speculation
+        mode; bit-exactness is unaffected either way.
     page_size:
         Tokens per KV page of the paged store.
     max_pool_tokens:
@@ -204,6 +260,7 @@ class ContinuousBatchingEngine:
         scheduler: FCFSScheduler | None = None,
         max_batch_size: int = 8,
         max_total_tokens: int | None = None,
+        prefill_chunk_tokens: int | None = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         max_pool_tokens: int | None = None,
         max_pool_bytes: int | None = None,
@@ -221,7 +278,23 @@ class ContinuousBatchingEngine:
         self.model = model
         self.policy_factory = policy_factory or FullAttentionPolicy
         self.positional_mode = positional_mode
-        self.scheduler = scheduler or PagedScheduler(max_batch_size, max_total_tokens)
+        if prefill_chunk_tokens is not None and prefill_chunk_tokens < 2:
+            raise ValueError("prefill_chunk_tokens must be >= 2 (or None)")
+        # Explicit ``is None`` check: schedulers define ``__len__``, so an
+        # *empty* caller-supplied scheduler is falsy and ``scheduler or ...``
+        # would silently replace it with the default.
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else PagedScheduler(
+                max_batch_size,
+                max_total_tokens,
+                prefill_chunk_tokens=prefill_chunk_tokens,
+            )
+        )
+        if prefill_chunk_tokens is not None:
+            # An explicitly passed scheduler adopts the engine-level knob.
+            self.scheduler.prefill_chunk_tokens = prefill_chunk_tokens
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         if retry_backoff_steps < 0:
@@ -315,6 +388,24 @@ class ContinuousBatchingEngine:
         self.prefill_computed_tokens = 0
         #: Preemptions performed (requests bumped back to the queue).
         self.n_preemptions = 0
+        #: The at-most-one in-flight chunked prefill (``prefill_chunk_tokens``).
+        self._chunked: _ChunkedPrefill | None = None
+        #: Prompt chunks executed through the chunked-prefill path.
+        self.n_prefill_chunks = 0
+        #: Work done by the most recent :meth:`step` — the load harness feeds
+        #: these into a :class:`~repro.perfmodel.serving.StepCostModel` to run
+        #: traces in deterministic virtual time (``docs/workloads.md``).
+        self.last_step_prefill_tokens = 0
+        self.last_step_decode_rows = 0
+        self._decode_rows_step = 0
+        #: Shared RoPE table for rotating accumulated chunk keys at their
+        #: original positions (bit-identical to the rotation inside
+        #: ``attend_prefill``); ``None`` for non-RoPE models.
+        self._rope_chunk_table = (
+            get_rope_table(model.config.rope_dims)
+            if model.config.positional == "rope"
+            else None
+        )
 
     # ------------------------------------------------------------------
     # submission
@@ -326,15 +417,21 @@ class ContinuousBatchingEngine:
         sampler: Sampler | None = None,
         policy: EvictionPolicy | None = None,
         deadline_steps: int | None = None,
+        priority: int = 0,
     ) -> RequestState:
         """Queue one request; returns its state handle (results after finish).
 
         ``deadline_steps`` overrides the engine default for this request; the
         submission may also be refused outright (``FinishReason.SHED``) when
         load shedding is configured and the engine is saturated.
+        ``priority`` is the request's SLO tier (higher = more urgent); it
+        only matters under a :class:`~repro.serving.slo.PriorityScheduler`
+        and never affects what the request generates.
         """
         config = config or GenerationConfig()
-        request = Request.from_config(self._next_id, prompt_ids, config)
+        request = Request.from_config(
+            self._next_id, prompt_ids, config, priority=int(priority)
+        )
         # A lone request must be able to grow to its worst case (plus one
         # page of slack, plus the transient draft block in speculation mode)
         # inside the fixed pool, or it could exhaust the pool mid-decode with
@@ -429,6 +526,13 @@ class ContinuousBatchingEngine:
         if state is not None:
             self._finish_unjoined(state, FinishReason.ABORTED)
             return True
+        if self._chunked is not None and self._chunked.state.request_id == request_id:
+            # Mid-chunked-prefill: no pages were allocated yet, so dropping
+            # the accumulator is the whole cleanup.
+            state = self._chunked.state
+            self._chunked = None
+            self._finish_unjoined(state, FinishReason.ABORTED)
+            return True
         for row, running in enumerate(self._states):
             if running.request_id == request_id:
                 self._retire(row, FinishReason.ABORTED)
@@ -447,8 +551,12 @@ class ContinuousBatchingEngine:
 
     @property
     def has_work(self) -> bool:
-        """True while any request is running or queued."""
-        return bool(self._states) or bool(len(self.scheduler))
+        """True while any request is running, queued or mid-chunked-prefill."""
+        return (
+            bool(self._states)
+            or bool(len(self.scheduler))
+            or self._chunked is not None
+        )
 
     def pool_usage(self) -> dict:
         """Current page-pool utilization (empty before the first prefill)."""
@@ -493,7 +601,9 @@ class ContinuousBatchingEngine:
         n_done = len(self._finished)
         had_work = self.has_work
         tokens_before = self.n_tokens_recorded
+        prefill_before = self.prefill_computed_tokens
         preempts_before = self.n_preemptions
+        self._decode_rows_step = 0
         self.step_count += 1
         self._expire_deadlines()
         if self.speculation is not None:
@@ -501,9 +611,15 @@ class ContinuousBatchingEngine:
         else:
             self._step_vanilla()
         finished = self._finished[n_done:]
+        self.last_step_prefill_tokens = self.prefill_computed_tokens - prefill_before
+        self.last_step_decode_rows = self._decode_rows_step
         if self.watchdog is not None and had_work:
+            # A chunked prefill advances the prompt without recording tokens,
+            # so prefill progress counts as progress too.
             self.watchdog.observe(
-                bool(finished) or self.n_tokens_recorded > tokens_before,
+                bool(finished)
+                or self.n_tokens_recorded > tokens_before
+                or self.prefill_computed_tokens > prefill_before,
                 self.n_preemptions - preempts_before,
             )
         return finished
@@ -539,6 +655,7 @@ class ContinuousBatchingEngine:
         state.status = RequestStatus.FINISHED
         state.finish_reason = reason
         state.pending_token = None
+        state.finished_step = self.step_count
         state.cache_stats = CacheStats()
         self._finished.append(state)
 
@@ -569,6 +686,11 @@ class ContinuousBatchingEngine:
                 self.scheduler.cancel(state.request_id)
                 self.n_timeouts += 1
                 self._finish_unjoined(state, FinishReason.TIMEOUT)
+        if self._chunked is not None and self._deadline_exceeded(self._chunked.state):
+            state = self._chunked.state
+            self._chunked = None  # no pages held mid-chunking; nothing to free
+            self.n_timeouts += 1
+            self._finish_unjoined(state, FinishReason.TIMEOUT)
 
     def _record_fault(self, state: RequestState, exc: BaseException) -> None:
         """Stamp the fault's message and traceback onto the request state."""
@@ -621,8 +743,75 @@ class ContinuousBatchingEngine:
         else:
             self._retire(row, FinishReason.ERROR)
 
+    def _n_admission_slots(self) -> int:
+        """Batch slots spoken for: running rows + the in-flight chunked
+        prefill (its row exists only after the final chunk joins)."""
+        return len(self._states) + (1 if self._chunked is not None else 0)
+
+    def _tokens_in_flight(self) -> int:
+        """Worst-case token budgets of running rows + the chunked prefill."""
+        total = sum(st.request.token_budget for st in self._states)
+        if self._chunked is not None:
+            total += self._chunked.state.request.token_budget
+        return total
+
+    def _chunked_reserved_pages(self) -> int:
+        """Pages the in-flight chunked prefill will claim at its join —
+        reserved at admission time so concurrent admissions cannot spend
+        the same free pages twice (the kvcache admission accounting for
+        chunked prefill)."""
+        if self._chunked is None or self._manager is None:
+            return 0
+        return self._manager.store.pages_for_tokens(
+            self._chunked.state.request.prompt_len + 1
+        )
+
+    def _admit_queued(self, admitted_already: list[RequestState]) -> list[RequestState]:
+        """One scheduler admission pass with full in-flight accounting."""
+        reserved = self._chunked_reserved_pages()
+        if self._manager is not None:
+            # Earlier admissions this step have not joined yet; their prompt
+            # pages are promised but unallocated, exactly like the chunked
+            # prefill's.
+            reserved += sum(
+                self._manager.store.pages_for_tokens(st.request.prompt_len + 1)
+                for st in admitted_already
+            )
+        return self.scheduler.admit(
+            self._n_admission_slots() + len(admitted_already),
+            self._tokens_in_flight()
+            + sum(st.request.token_budget for st in admitted_already),
+            store=self._manager.store if self._manager is not None else None,
+            registry=self._manager.registry if self._manager is not None else None,
+            now_step=self.step_count,
+            reserved_pages=reserved,
+        )
+
+    def _preempt_for_priority(self, admitted: list[RequestState]) -> None:
+        """Preempt running lower-priority requests for a blocked
+        higher-priority queue head, extending ``admitted`` in place.
+
+        Only runs when the scheduler opts in (``priority_preemption``,
+        :class:`~repro.serving.slo.PriorityScheduler`).  Each iteration
+        preempts exactly one victim — the lowest-priority, newest-admitted
+        running request — then retries admission; the loop ends when the
+        head is admitted, out-prioritized, or there is nothing left to
+        preempt.  Preemption restarts regenerate bit-identically, so this
+        trades the victims' completion time for the head's, never output.
+        """
+        while len(self.scheduler) and self._states:
+            head = self.scheduler.pending[0]
+            if head.retry_at > self.step_count:
+                break
+            if not any(
+                st.request.priority < head.request.priority for st in self._states
+            ):
+                break
+            self._preempt_victim()
+            admitted.extend(self._admit_queued(admitted))
+
     def _admit_and_prefill(self) -> list[RequestState]:
-        """Admit queued requests in FCFS order and prefill them.
+        """Advance the chunked prefill, admit queued requests, prefill them.
 
         Builds the store before the first admission so memory-aware
         admission sees real page counts from the very first request.  A
@@ -634,22 +823,23 @@ class ContinuousBatchingEngine:
         get and the head request can never fit, so this raises
         :class:`PoolExhausted`.  Returns the requests that joined.
         """
+        joined: list[RequestState] = []
+        if self._chunked is not None:
+            completed = self._advance_chunked()
+            if completed is not None:
+                joined.append(completed)
         if self._manager is None and len(self.scheduler):
             self._build_manager(self.scheduler.pending[0].policy)
-        tokens_in_flight = sum(st.request.token_budget for st in self._states)
-        admitted = self.scheduler.admit(
-            len(self._states),
-            tokens_in_flight,
-            store=self._manager.store if self._manager is not None else None,
-            registry=self._manager.registry if self._manager is not None else None,
-            now_step=self.step_count,
-        )
-        joined: list[RequestState] = []
+        admitted = self._admit_queued([])
+        if getattr(self.scheduler, "priority_preemption", False):
+            self._preempt_for_priority(admitted)
         for i, state in enumerate(admitted):
             outcome = self._prefill(state)
             if outcome == _PREFILL_JOINED:
                 joined.append(state)
                 continue
+            if outcome == _PREFILL_CHUNKED:
+                continue  # first chunk ran; the join happens in a later step
             if outcome == _PREFILL_FAILED_FINAL:
                 continue  # retired with ERROR; younger admissions may proceed
             if outcome == _PREFILL_FAILED_RETRY:
@@ -659,7 +849,13 @@ class ContinuousBatchingEngine:
             else:  # _PREFILL_BLOCKED: pool could not fund the join
                 self.scheduler.requeue_many(admitted[i:])
             break
-        if not self._states and not joined and not admitted and len(self.scheduler):
+        if (
+            not self._states
+            and self._chunked is None
+            and not joined
+            and not admitted
+            and len(self.scheduler)
+        ):
             head = self.scheduler.pending[0]
             if head.retry_at <= self.step_count:
                 raise PoolExhausted(
@@ -721,7 +917,7 @@ class ContinuousBatchingEngine:
         if not store.growable:
             need = store.pages_for_tokens(self.speculation.k + 1) + 1
             while store.min_free_pages() < need and len(self._states) > 1:
-                self._preempt_newest()
+                self._preempt_victim()
                 if all(st is not state for st in self._states):
                     return  # this row was the preemption victim
             row = next(i for i, st in enumerate(self._states) if st is state)
@@ -748,7 +944,7 @@ class ContinuousBatchingEngine:
         except PoolExhausted:
             drafter.abort_round()
             if len(self._states) > 1:
-                self._preempt_newest()
+                self._preempt_victim()
                 return
             # Lone request with nothing to preempt: drop the page-holding
             # drafter and fall back to model-free n-gram drafting.  Its
@@ -776,6 +972,9 @@ class ContinuousBatchingEngine:
             drafter.abort_round()
             self._quarantine_row(row, exc)
             return
+        # One draft-then-verify round ≈ one decode-row unit in the step-cost
+        # model (the verify pass is a single ragged forward for this row).
+        self._decode_rows_step += 1
         self._spec_commit(row, commits)
 
     def _spec_commit(self, row: int, commits: list[tuple[int, float]]) -> bool:
@@ -787,6 +986,8 @@ class ContinuousBatchingEngine:
         """
         state = self._states[row]
         self.n_tokens_recorded += len(commits)
+        if commits and state.first_token_step is None:
+            state.first_token_step = self.step_count
         finish: FinishReason | None = None
         for token, logprob in commits:
             state.tokens.append(int(token))
@@ -886,6 +1087,15 @@ class ContinuousBatchingEngine:
         try:
             if self.faults is not None:
                 self.faults.check("prefill", state.request_id)
+            if match is None and self._should_chunk(state):
+                # Long unshared prompt under a chunk budget: run the first
+                # chunk now and spread the rest over the following steps —
+                # decode rows (and other admissions) interleave in between.
+                self._chunked = _ChunkedPrefill(
+                    state, self.scheduler.prefill_chunk_tokens
+                )
+                self._run_chunk(self._chunked)
+                return _PREFILL_CHUNKED
             if match is not None:
                 row, next_row = self._prefill_shared(state, match)
                 computed = prompt_len - match.length
@@ -912,12 +1122,14 @@ class ContinuousBatchingEngine:
             # step retries in arrival order.
             if not self._states:
                 raise  # nothing to preempt — the pool simply cannot fit it
-            self._preempt_newest()
+            self._preempt_victim()
             return _PREFILL_BLOCKED
         except Exception as exc:
             # ``join`` and the drafter seed both unwind their own pages on
             # failure, so the store is clean here; quarantine the request
             # alone (running rows are untouched by a prefill).
+            if self._chunked is not None and self._chunked.state is state:
+                self._chunked = None
             if not self.fault_tolerant:
                 raise
             return self._prefill_failure(state, exc)
@@ -929,8 +1141,14 @@ class ContinuousBatchingEngine:
             self._last_prompt_scores = None
         self.prefill_prompt_tokens += prompt_len
         self.prefill_computed_tokens += computed
-        assert row == len(self._states), "engine rows out of sync with cache rows"
+        self._complete_join(state, row, next_row)
+        return _PREFILL_JOINED
 
+    def _complete_join(self, state: RequestState, row: int, next_row: np.ndarray) -> None:
+        """Post-join bookkeeping shared by every prefill path: sample the
+        first token from the prompt's final logits and append the request to
+        the running batch."""
+        assert row == len(self._states), "engine rows out of sync with cache rows"
         if self.speculation is not None:
             # Speculation records tokens inline (rows advance unevenly), so
             # no per-row logits are carried between steps — keep the pending
@@ -950,7 +1168,151 @@ class ContinuousBatchingEngine:
         state.status = RequestStatus.RUNNING
         state.admitted_seq = self._admit_seq
         self._admit_seq += 1
-        return _PREFILL_JOINED
+
+    # ------------------------------------------------------------------
+    # chunked prefill
+    # ------------------------------------------------------------------
+    def _should_chunk(self, state: RequestState) -> bool:
+        """Whether this admitted request's prefill should be chunked.
+
+        Requires a chunk budget on the scheduler, no other chunked prefill
+        in flight (one at a time keeps the accounting simple; a second long
+        prompt simply prefills unchunked), a prompt long enough that
+        chunking actually splits it (> budget + 1, so no 1-token tail), a
+        policy that never reads prompt attention values (the join passes
+        the same zero-strided dummies as the shared-prefix path), and
+        non-speculative mode (the draft/verify loop has its own step
+        structure).  The caller additionally requires no resident shared
+        prefix — a mapped prefix already makes prefill cheap, and chunking
+        across an LRU-reclaimable mapping would race the registry.
+        """
+        budget = getattr(self.scheduler, "prefill_chunk_tokens", None)
+        return (
+            budget is not None
+            and self._chunked is None
+            and self.speculation is None
+            and not state.policy.needs_prompt_attention
+            and state.request.prompt_len > budget + 1
+        )
+
+    def _run_chunk(self, pending: _ChunkedPrefill) -> None:
+        """Compute the next prompt chunk and fold it into the accumulators.
+
+        The first chunk runs the ordinary full forward (its rows and raw KV
+        are bit-identical to the corresponding rows of a whole-prompt
+        forward — the projection row-stability the prefix-sharing path is
+        built on); later chunks attend over the accumulated prefix through
+        :meth:`DecoderLM.forward_suffix`, exactly like the shared-prefix
+        path but with the prefix held in engine arrays instead of mapped
+        pages.  No pool pages are touched here.
+        """
+        state = pending.state
+        size = pending.next_chunk()
+        start, end = pending.done, pending.done + size
+        chunk = state.request.prompt_ids[:, start:end]
+        if start == 0:
+            self.model.forward(chunk, store_attention=True)
+            chunk_kv = []
+            for block in self.model.blocks:
+                if block.attn.last_kv is None:
+                    raise RuntimeError("prompt forward did not store attention tensors")
+                chunk_kv.append(block.attn.last_kv)
+            logits = None
+        else:
+            prefix_kv = list(zip(pending.k_attn, pending.v_cat))
+            logits, chunk_kv = self.model.forward_suffix(chunk, prefix_kv, start)
+        positions = np.arange(start, end)
+        for layer, (k_raw, v) in enumerate(chunk_kv):
+            if self._rope_chunk_table is not None:
+                k_att = self._rope_chunk_table.rotate(k_raw, positions)
+            else:
+                k_att = k_raw
+            if start == 0:
+                pending.k_raw.append(k_raw)
+                pending.v_cat.append(v)
+                pending.k_attn.append(k_att)
+            else:
+                pending.k_raw[layer] = np.concatenate(
+                    [pending.k_raw[layer], k_raw], axis=2
+                )
+                pending.v_cat[layer] = np.concatenate(
+                    [pending.v_cat[layer], v], axis=2
+                )
+                pending.k_attn[layer] = np.concatenate(
+                    [pending.k_attn[layer], k_att], axis=2
+                )
+        pending.done = end
+        self.n_prefill_chunks += 1
+        # Chunked prompts are always fully computed (never mapped), so both
+        # sharing counters advance together and mid-flight aborts keep the
+        # prefill_savings ratio consistent.
+        self.prefill_prompt_tokens += size
+        self.prefill_computed_tokens += size
+        if pending.done == state.request.prompt_len:
+            pending.complete = True
+            pending.next_row = logits[:, -1, :]
+
+    def _advance_chunked(self) -> RequestState | None:
+        """Run the in-flight chunked prefill's next chunk (or its join).
+
+        Returns the request's state when it joined the batch this step,
+        ``None`` otherwise.  A ``PoolExhausted`` at the join preempts a
+        victim and retries the join next step (the accumulated chunks are
+        kept — no recompute); any other exception drops the accumulator and
+        goes through the ordinary prefill quarantine machinery.
+        """
+        pending = self._chunked
+        state = pending.state
+        try:
+            if self.faults is not None:
+                self.faults.check("prefill", state.request_id)
+            if not pending.complete:
+                self._run_chunk(pending)
+                if not pending.complete:
+                    return None
+            row, next_row = self._join_chunked(pending)
+        except PoolExhausted:
+            if not self._states:
+                self._chunked = None
+                raise  # nothing to preempt — the pool simply cannot fit it
+            self._preempt_victim()
+            return None
+        except Exception as exc:
+            self._chunked = None
+            if not self.fault_tolerant:
+                raise
+            self._prefill_failure(state, exc)
+            return None
+        self._chunked = None
+        self._complete_join(state, row, next_row)
+        return state
+
+    def _join_chunked(self, pending: _ChunkedPrefill) -> tuple[int, np.ndarray]:
+        """Join a fully computed chunked prompt into the paged store.
+
+        Same join as :meth:`_prefill_full` (the raw KV is bit-identical to a
+        monolithic prompt forward's), with the shared-prefix path's
+        zero-strided dummy attention tensors — chunking is gated to policies
+        whose prompt-phase selections depend on shapes alone.  The prompt
+        registers in the prefix registry as usual, so chunked prompts still
+        seed future sharing.
+        """
+        state = pending.state
+        prompt_len = state.request.prompt_len
+        h = self.model.config.n_heads
+        dummy = np.broadcast_to(
+            np.zeros(1, dtype=self.model.config.np_dtype),
+            (1, h, prompt_len, prompt_len),
+        )
+        row = self._manager.join(
+            list(zip(pending.k_raw, pending.v_cat)),
+            [dummy] * self._manager.n_layers,
+            [dummy] * self._manager.n_layers,
+            state.request.max_new_tokens,
+            state.policy,
+            prompt_token_ids=self._register_ids(state),
+        )
+        return row, pending.next_row
 
     def _prefill_failure(self, state: RequestState, exc: BaseException) -> int:
         """Quarantine a faulted prefill: retry with backoff or retire with
@@ -1045,6 +1407,8 @@ class ContinuousBatchingEngine:
         for i, row in enumerate(rows):
             state = self._states[row]
             token = state.pending_token
+            if state.first_token_step is None:
+                state.first_token_step = self.step_count
             state.total_logprob += float(logprobs[i, token])
             state.tokens.append(token)
             eos = state.request.eos_token_id
@@ -1090,23 +1454,30 @@ class ContinuousBatchingEngine:
         state.finish_reason = reason
         state.status = RequestStatus.FINISHED
         state.pending_token = None
+        state.finished_step = self.step_count
         state.n_steps = self._manager.generation_step[row]
         self._release_spec(state, record=True)
         state.cache_stats = self._manager.retire(row)
         self._drop_row(row)
         self._finished.append(state)
 
-    def _preempt_newest(self) -> None:
-        """Bump the newest-admitted running request back to the queue.
+    def _preempt_victim(self) -> None:
+        """Bump the preemption victim back to the queue.
 
-        Its pages return to the pool immediately; on re-admission it
-        re-prefills and regenerates from scratch (deterministically, so the
-        final output is unchanged).  Preempting newest-first keeps FCFS
+        The victim is the lowest-priority running request, newest-admitted
+        among ties — with uniform priorities (every non-priority scheduler)
+        this is exactly the historical newest-first rule, preserving FCFS
         completion semantics: an older request is never sacrificed for a
-        younger one.
+        younger one of the same tier.  Its pages return to the pool
+        immediately; on re-admission it re-prefills and regenerates from
+        scratch (deterministically, so the final output is unchanged).
         """
-        row = max(
-            range(len(self._states)), key=lambda r: self._states[r].admitted_seq
+        row = min(
+            range(len(self._states)),
+            key=lambda r: (
+                self._states[r].request.priority,
+                -self._states[r].admitted_seq,
+            ),
         )
         self._release_spec(self._states[row])
         self._manager.release_row(row)
@@ -1120,7 +1491,7 @@ class ContinuousBatchingEngine:
         if self._manager is None or self._manager.store.growable:
             return
         while len(self._states) > 1 and self._manager.append_pages_shortfall() > 0:
-            self._preempt_newest()
+            self._preempt_victim()
 
     def _decode(self) -> None:
         """One batched decode step + per-request sampling of the next token.
@@ -1159,7 +1530,7 @@ class ContinuousBatchingEngine:
                     # copy-on-write and the capacity check undercounts; treat
                     # a mid-step exhaustion as ordinary pressure.
                     if len(self._states) > 1:
-                        self._preempt_newest()
+                        self._preempt_victim()
                         continue
                     raise
                 row = self._fault_row_of(exc)
@@ -1181,6 +1552,7 @@ class ContinuousBatchingEngine:
         self._next_logits = self.model.decode_step_batch(
             tokens, positions, self._layer_views
         )
+        self._decode_rows_step += len(self._states)
         self._manager.advance()
         sampled = sample_rows([st.sampler for st in self._states], self._next_logits)
         for row, state in enumerate(self._states):

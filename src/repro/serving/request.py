@@ -66,6 +66,12 @@ class Request:
     temperature: float = 1.0
     top_k: int = 0
     seed: int = 0
+    #: SLO tier — higher values are more urgent.  Priority affects *when* a
+    #: request is admitted (and which running request a
+    #: :class:`~repro.serving.slo.PriorityScheduler` preempts under
+    #: pressure), never *what* it generates: the bit-exactness contract is
+    #: priority-blind.  The plain FCFS/paged schedulers ignore it.
+    priority: int = 0
 
     @property
     def prompt_len(self) -> int:
@@ -79,7 +85,11 @@ class Request:
 
     @classmethod
     def from_config(
-        cls, request_id: int, prompt_ids, config: GenerationConfig | None = None
+        cls,
+        request_id: int,
+        prompt_ids,
+        config: GenerationConfig | None = None,
+        priority: int = 0,
     ) -> "Request":
         """Build a request from a prompt and a :class:`GenerationConfig`."""
         config = config or GenerationConfig()
@@ -100,6 +110,7 @@ class Request:
             temperature=config.temperature,
             top_k=config.top_k,
             seed=config.seed,
+            priority=priority,
         )
 
 
@@ -151,6 +162,13 @@ class RequestState:
     error: str | None = None
     #: Full traceback text of the last quarantined exception.
     error_traceback: str | None = None
+    #: Engine step at which the first output token was *recorded* — the
+    #: numerator of TTFT once the load harness maps steps to virtual time.
+    #: Preemption discards generated tokens, so the stamp tracks the first
+    #: token of the final (successful) run; see ``docs/workloads.md``.
+    first_token_step: int | None = None
+    #: Engine step at which the request finished (any :class:`FinishReason`).
+    finished_step: int | None = None
 
     @property
     def request_id(self) -> int:
@@ -180,6 +198,7 @@ class RequestState:
         self.cache_stats = None
         self.n_steps = 0
         self.admitted_seq = -1
+        self.first_token_step = None
         if self.sampler_factory is not None:
             self.sampler = self.sampler_factory()
 

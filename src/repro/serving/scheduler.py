@@ -51,15 +51,35 @@ __all__ = ["FCFSScheduler", "PagedScheduler"]
 
 
 class FCFSScheduler:
-    """Strict first-come-first-served admission with batch and token budgets."""
+    """Strict first-come-first-served admission with batch and token budgets.
 
-    def __init__(self, max_batch_size: int = 8, max_total_tokens: int | None = None):
+    ``prefill_chunk_tokens`` is the scheduler's **chunked-prefill budget**:
+    when set, the engine splits any prompt longer than the budget into chunks
+    of at most this many tokens and runs *one chunk per engine step* instead
+    of prefilling the whole prompt in a single step — running decode rows
+    (and other admissions) interleave between chunks, which is what caps the
+    tail latency a long prompt can inflict on its neighbours.  It lives on
+    the scheduler because it is an admission-shaping knob: it trades one
+    request's time-to-first-token for everyone else's step-time bound.
+    ``None`` (default) disables chunking; the floor is 2 tokens (the
+    bit-stability floor of the chunked projections).
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int = 8,
+        max_total_tokens: int | None = None,
+        prefill_chunk_tokens: int | None = None,
+    ):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if max_total_tokens is not None and max_total_tokens <= 0:
             raise ValueError("max_total_tokens must be positive (or None)")
+        if prefill_chunk_tokens is not None and prefill_chunk_tokens < 2:
+            raise ValueError("prefill_chunk_tokens must be >= 2 (or None)")
         self.max_batch_size = max_batch_size
         self.max_total_tokens = max_total_tokens
+        self.prefill_chunk_tokens = prefill_chunk_tokens
         self._queue: deque[RequestState] = deque()
 
     # ------------------------------------------------------------------
@@ -75,6 +95,15 @@ class FCFSScheduler:
                 f"request {state.request_id} needs {cost} tokens, exceeding the "
                 f"engine's max_total_tokens budget of {self.max_total_tokens}"
             )
+        self._enqueue(state)
+
+    def _enqueue(self, state: RequestState) -> None:
+        """Insert a validated new submission (FCFS: append in arrival order).
+
+        Subclasses override this (and :meth:`requeue`) to keep the queue in a
+        different admission order — see
+        :class:`~repro.serving.slo.PriorityScheduler`.
+        """
         self._queue.append(state)
 
     def requeue(self, state: RequestState) -> None:
@@ -132,13 +161,16 @@ class FCFSScheduler:
         store: "PagedKVStore | None" = None,
         registry: "PrefixRegistry | None" = None,
         now_step: int = 0,
+        reserved_pages: int = 0,
     ) -> list[RequestState]:
         """Pop every queued request that fits the current budgets, in order.
 
         Parameters
         ----------
         n_running:
-            Number of sequences currently decoding in the batch.
+            Number of sequences currently decoding in the batch — the engine
+            also counts an in-flight chunked prefill here, so its eventual
+            row cannot be double-booked.
         tokens_in_flight:
             Sum of ``token_budget`` over those sequences.
         store, registry:
@@ -149,6 +181,12 @@ class FCFSScheduler:
             its retry-backoff window (``retry_at > now_step``) blocks the
             line until the window elapses (head-of-line blocking, like every
             other admission rule).
+        reserved_pages:
+            Pages already promised to work that has not allocated them yet —
+            an in-flight chunked prefill's prompt, or earlier admissions in
+            this engine step.  Token-budget admission ignores it
+            (``tokens_in_flight`` already carries the reservation);
+            :class:`PagedScheduler` subtracts it from the free-page count.
         """
         admitted: list[RequestState] = []
         while self._queue:
@@ -184,8 +222,11 @@ class PagedScheduler(FCFSScheduler):
         max_batch_size: int = 8,
         max_total_tokens: int | None = None,
         watermark: float = 0.1,
+        prefill_chunk_tokens: int | None = None,
     ):
-        super().__init__(max_batch_size, max_total_tokens)
+        super().__init__(
+            max_batch_size, max_total_tokens, prefill_chunk_tokens=prefill_chunk_tokens
+        )
         if not 0.0 <= watermark < 1.0:
             raise ValueError("watermark must be in [0, 1)")
         self.watermark = watermark
@@ -197,12 +238,19 @@ class PagedScheduler(FCFSScheduler):
         store: "PagedKVStore | None" = None,
         registry: "PrefixRegistry | None" = None,
         now_step: int = 0,
+        reserved_pages: int = 0,
     ) -> list[RequestState]:
         """Pop queued requests whose prompt pages fit the tightest layer
         pool above the watermark (see the class docstring); falls back to
-        the token-budget rule while the store is still growable."""
+        the token-budget rule while the store is still growable.
+
+        ``reserved_pages`` counts pages promised but not yet allocated (an
+        in-flight chunked prefill joins only after its last chunk), so
+        admission cannot spend the same free pages twice."""
         admitted: list[RequestState] = []
-        reserved = 0  # pages already claimed by earlier admissions this call
+        # Pages already claimed by the caller's reservation (e.g. an
+        # in-flight chunked prefill) plus earlier admissions this call.
+        reserved = reserved_pages
         while self._queue:
             head = self._queue[0]
             if n_running + len(admitted) >= self.max_batch_size:

@@ -1,0 +1,105 @@
+"""Step-cost and expected-TTFT model: math, validation, engine consistency.
+
+The analytical model's chunk-count arithmetic must agree with what the
+engine actually does (including the 1-token-remainder absorption), and its
+qualitative predictions — chunking raises the long prompt's own TTFT while
+shrinking the per-step stall bound its neighbours see — are what the gated
+benchmark measures empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.config import GenerationConfig, ModelConfig
+from repro.models.transformer import DecoderLM
+from repro.perfmodel.serving import StepCostModel, TTFTModel
+
+
+def test_step_cost_affine():
+    cost = StepCostModel(fixed=0.5, per_prefill_token=0.1, per_decode_row=1.0)
+    assert cost.step_cost(0, 0) == 0.5
+    assert cost.step_cost(10, 0) == pytest.approx(1.5)
+    assert cost.step_cost(0, 3) == pytest.approx(3.5)
+    assert cost.step_cost(10, 3) == pytest.approx(4.5)
+
+
+def test_step_cost_validation():
+    with pytest.raises(ValueError):
+        StepCostModel(fixed=-1.0)
+    with pytest.raises(ValueError):
+        StepCostModel(fixed=0.0, per_prefill_token=0.0, per_decode_row=0.0)
+
+
+def test_unchunked_ttft_is_one_step():
+    cost = StepCostModel()
+    model = TTFTModel(cost)
+    assert model.unchunked_ttft(128, decode_rows=3) == cost.step_cost(128, 3)
+
+
+def test_chunked_ttft_exceeds_unchunked_for_the_long_prompt():
+    """Chunking trades the long prompt's own TTFT for its neighbours'."""
+    model = TTFTModel(StepCostModel())
+    for prompt_len in (64, 129, 300):
+        assert model.chunked_ttft(prompt_len, 32) >= model.unchunked_ttft(prompt_len)
+
+
+def test_chunked_ttft_short_prompt_unchanged():
+    """Prompts at or below budget+1 run in one step either way."""
+    model = TTFTModel(StepCostModel())
+    assert model.chunked_ttft(33, 32) == model.unchunked_ttft(33)
+
+
+def test_stall_bound_shrinks_with_chunking():
+    model = TTFTModel(StepCostModel())
+    unbounded = model.decode_stall_bound(None, 512)
+    bounded = model.decode_stall_bound(32, 512)
+    assert bounded < unbounded
+    assert bounded == pytest.approx(0.1 * 33)  # budget + absorbed remainder
+    # A short prompt never stalls more than its own length.
+    assert model.decode_stall_bound(32, 16) == pytest.approx(0.1 * 16)
+
+
+def test_chunk_count_validation():
+    model = TTFTModel(StepCostModel())
+    with pytest.raises(ValueError):
+        model.chunked_ttft(64, 1)
+
+
+@pytest.mark.parametrize("prompt_len", [33, 34, 48, 49, 97])
+def test_chunk_count_matches_engine(prompt_len):
+    """The model's implied chunk count equals the engine's actual steps."""
+    from repro.serving.engine import ContinuousBatchingEngine
+    from repro.serving.scheduler import PagedScheduler
+
+    chunk = 16
+    cost = StepCostModel()
+    model = TTFTModel(cost)
+    # Back out the model's chunk count from the closed form.
+    per_chunk = cost.step_cost(0, 0)
+    n_chunks = round(
+        (model.chunked_ttft(prompt_len, chunk) - cost.per_prefill_token * prompt_len)
+        / per_chunk
+    )
+
+    lm = DecoderLM(
+        ModelConfig(
+            vocab_size=64,
+            d_model=32,
+            n_layers=2,
+            n_heads=4,
+            d_ff=64,
+            max_seq_len=256,
+            positional="rope",
+        ),
+        seed=0,
+    )
+    engine = ContinuousBatchingEngine(
+        lm, scheduler=PagedScheduler(max_batch_size=1, prefill_chunk_tokens=chunk)
+    )
+    prompt = np.random.default_rng(prompt_len).integers(0, 64, size=prompt_len)
+    engine.submit(prompt, GenerationConfig(max_new_tokens=2))
+    engine.run()
+    expected = engine.n_prefill_chunks if engine.n_prefill_chunks else 1
+    assert n_chunks == expected

@@ -8,8 +8,9 @@ Verifies, with no dependencies beyond the standard library, that:
    resolves to an existing file (anchors are stripped; external ``http(s)``
    and ``mailto`` links are not fetched);
 3. every `path`-like inline-code reference to a tracked top-level artifact
-   (``docs/…``, ``benchmarks/…``, ``tools/…``, ``examples/…``) in those pages
-   points at something that exists — stale file references are doc drift.
+   (``docs/…``, ``benchmarks/…``, ``tools/…``, ``examples/…``, ``src/…``,
+   ``tests/…``) in those pages points at something that exists — stale file
+   references are doc drift.
 
 Exit status is non-zero on any failure, so CI can gate on it.
 """
@@ -27,7 +28,9 @@ README = REPO_ROOT / "README.md"
 #: Inline markdown links/images: [text](target) — fenced code is stripped first.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
 #: Inline-code path references like `docs/kvcache.md` or `tools/check_docs.py`.
-CODE_PATH_RE = re.compile(r"`((?:docs|benchmarks|tools|examples)/[A-Za-z0-9_./-]+)`")
+CODE_PATH_RE = re.compile(
+    r"`((?:docs|benchmarks|tools|examples|src|tests)/[A-Za-z0-9_./-]+)`"
+)
 FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
 
 
@@ -64,6 +67,7 @@ def check_file(path: Path) -> tuple[list[Path], list[str]]:
 
 
 def main() -> int:
+    """Walk the link graph from README.md and report every problem found."""
     errors: list[str] = []
     if not README.exists():
         print("FAILED: README.md does not exist")
