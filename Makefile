@@ -55,8 +55,13 @@ serve-demo:
 load:
 	$(PYTHON) tools/run_load.py --output $(LOAD_REPORT_OUT)
 
+# The sharded passes extend the determinism gate: N=2 process-backed
+# replicas must also replay byte-identically, and the N=1 sharded report
+# must be byte-identical to the single-engine report (docs/sharding.md).
 load-smoke:
 	$(PYTHON) tools/run_load.py --smoke --output $(LOAD_REPORT_OUT)
+	$(PYTHON) tools/run_load.py --smoke --replicas 2 --output sharded_$(LOAD_REPORT_OUT)
+	$(PYTHON) tools/run_load.py --smoke --replicas 1 --output sharded1_$(LOAD_REPORT_OUT)
 
 # Pinned 1000-step seeded fault-injection campaign (the CI chaos job): every
 # injection point fires, per-step pool-integrity audits stay clean, survivors

@@ -737,6 +737,112 @@ def bench_load_latency() -> dict[str, dict]:
     }
 
 
+# ----------------------------------------------------------------------
+# sharded serving: aggregate throughput scaling across engine replicas
+# ----------------------------------------------------------------------
+def bench_shard_scaling() -> dict[str, dict]:
+    """Aggregate decode throughput of 4 sharded replicas vs a single engine.
+
+    **Deterministic** (identical in smoke and full runs): both sides replay
+    the same pinned shared-prefix Zipf trace in virtual step-time, where a
+    sharded super-step costs the *slowest* replica's step — the virtual
+    clock models replicas running on parallel hardware, which is the only
+    machine-independent way to gate scaling (wall clock on a single-core CI
+    box would serialize the workers and gate nothing).  The inline backend
+    runs the exact worker-server code in-process; the multiprocessing
+    transport produces bit-identical reports (``make load-smoke`` and the
+    sharded test suite pin that), so this measures routing + scheduling,
+    not pickling.
+
+    ``shard_scaling_throughput_4x`` is **gated** on ``speedup``: completed
+    tokens per virtual-time unit for a 4-replica
+    :class:`~repro.serving.sharded.ShardedEngine` behind the
+    prefix-affinity router (``spill_load=6``, so a hot prefix overflows its
+    owner once the owner's backlog exceeds one and a half batches), over
+    the single engine on the same trace.  The saturated bound is ~4x (four
+    batches of decode rows per super-step); arrival gaps and prefill dilute
+    it — the acceptance floor is 2x.
+
+    The ``*_affinity_only`` keys record the same 4-replica run with
+    spilling disabled: the Zipf head concentrates on one replica, which
+    preserves the full single-engine prefix savings (``prefill_savings_*``)
+    but caps the speedup — the affinity/balance tradeoff ``spill_load``
+    exists to tune.
+    """
+    from repro.perfmodel.serving import StepCostModel
+    from repro.serving.scheduler import PagedScheduler
+    from repro.serving.sharded import PrefixAffinityRouter, ReplicaSpec, ShardedEngine
+    from repro.serving.workload import WorkloadConfig, generate_trace, replay_trace
+
+    config = ModelConfig(
+        vocab_size=128,
+        d_model=64,
+        n_layers=2,
+        n_heads=4,
+        d_ff=128,
+        max_seq_len=512,
+        positional="rope",
+    )
+    # Arrivals fast enough to keep 4 replicas' batches fed; a hot Zipf
+    # prefix pool so routing quality shows up in prefill_savings.
+    trace = generate_trace(
+        WorkloadConfig(
+            n_requests=48,
+            vocab_size=128,
+            mean_interarrival=0.5,
+            n_prefixes=4,
+            prefix_share_prob=0.8,
+            prefix_len_pages=2,
+            suffix_len_range=(4, 16),
+            prompt_len_range=(8, 48),
+            output_len_choices=(16,),
+            output_len_weights=(1.0,),
+        ),
+        seed=7,
+    )
+    cost = StepCostModel()
+
+    def single() -> tuple[float, float]:
+        engine = ContinuousBatchingEngine(
+            DecoderLM(config, seed=0), scheduler=PagedScheduler(max_batch_size=4)
+        )
+        result = replay_trace(engine, trace, cost)
+        tput = result.report.to_dict()["throughput"]["tokens_per_time"]
+        return tput, engine.prefill_savings
+
+    def sharded(n: int, spill_load: int | None) -> tuple[float, float, dict]:
+        spec = ReplicaSpec(model_config=config, model_seed=0, max_batch_size=4)
+        router = PrefixAffinityRouter(n, spill_load=spill_load)
+        engine = ShardedEngine(spec, n, router=router, backend="inline")
+        try:
+            result = replay_trace(engine, trace, cost)
+            tput = result.report.to_dict()["throughput"]["tokens_per_time"]
+            return tput, engine.prefill_savings, engine.router.telemetry()
+        finally:
+            engine.shutdown()
+
+    tput_1, savings_1 = single()
+    tput_2, _, _ = sharded(2, spill_load=6)
+    tput_4, savings_4, router = sharded(4, spill_load=6)
+    tput_aff, savings_aff, _ = sharded(4, spill_load=None)
+
+    return {
+        "shard_scaling_throughput_4x": {
+            "speedup": round(tput_4 / tput_1, 2),
+            "speedup_2x": round(tput_2 / tput_1, 2),
+            "speedup_affinity_only": round(tput_aff / tput_1, 2),
+            "tokens_per_vtime_single": round(tput_1, 4),
+            "tokens_per_vtime_sharded2": round(tput_2, 4),
+            "tokens_per_vtime_sharded4": round(tput_4, 4),
+            "prefill_savings_single": round(savings_1, 3),
+            "prefill_savings_sharded4": round(savings_4, 3),
+            "prefill_savings_affinity_only": round(savings_aff, 3),
+            "n_spilled": router["n_spilled"],
+            "rounds": 1,
+        }
+    }
+
+
 def run_suite(smoke: bool = False) -> dict:
     """Run every component and return ``name -> timing`` results.
 
@@ -803,6 +909,9 @@ def run_suite(smoke: bool = False) -> dict:
     # Trace-driven load latency: deterministic virtual-time percentiles, the
     # same in smoke and full runs; the chunked-prefill TTFT gain is gated.
     components.update(bench_load_latency())
+    # Sharded serving: deterministic virtual-time replica-scaling ratio on a
+    # shared-prefix Zipf trace; the 4-replica aggregate throughput is gated.
+    components.update(bench_shard_scaling())
     if not smoke:
         components["keyformer_score_update_1025"] = bench_score_update(
             KeyformerPolicy, 1025, fast_rounds

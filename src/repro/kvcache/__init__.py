@@ -19,6 +19,7 @@ from repro.kvcache.paged import (
     PoolExhausted,
     PrefixMatch,
     PrefixRegistry,
+    chunk_digest,
     resolve_pool_class,
 )
 from repro.kvcache.quant import QuantizedBlockPool
@@ -39,6 +40,7 @@ __all__ = [
     "PrefixMatch",
     "PrefixRegistry",
     "QuantizedBlockPool",
+    "chunk_digest",
     "resolve_pool_class",
     "DEFAULT_PAGE_SIZE",
 ]

@@ -40,6 +40,7 @@ keeps the paged backend bit-identical to the historical slab backend.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from typing import Callable, Iterable, Sequence
 
@@ -49,6 +50,7 @@ from repro.models.positional import RopeTable, get_rope_table
 
 __all__ = [
     "DEFAULT_PAGE_SIZE",
+    "chunk_digest",
     "PoolExhausted",
     "PoolIntegrityError",
     "PageTable",
@@ -1050,6 +1052,26 @@ class PagedKVStore:
         return violations
 
 
+def chunk_digest(tokens, parent: bytes | None = None) -> bytes:
+    """Process-stable digest of one page-aligned prefix chunk.
+
+    Chains like the registry's chunk keys: pass the previous chunk's digest
+    as ``parent`` so a chunk is only ever equal to another chunk behind the
+    exact same full prefix.  The digest is ``blake2b`` over the parent digest
+    plus the token ids serialized as little-endian int64 — byte-identical
+    across processes, platforms and ``PYTHONHASHSEED`` values, which is what
+    lets the sharded router (:mod:`repro.serving.sharded`) and every worker's
+    own :class:`PrefixRegistry` agree on chunk identity without sharing any
+    in-process state.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    if parent is not None:
+        h.update(parent)
+    arr = np.asarray(tokens, dtype=np.int64).reshape(-1)
+    h.update(arr.astype("<i8", copy=False).tobytes())
+    return h.digest()
+
+
 class PrefixMatch:
     """Result of a registry lookup: a mapped page-aligned prompt prefix."""
 
@@ -1074,8 +1096,12 @@ class _PrefixChunk:
 class PrefixRegistry:
     """Content-addressed index of resident page-aligned prompt prefixes.
 
-    Chunks are keyed by a chained key ``(parent_key, chunk_token_ids)`` so a
-    chunk is only ever matched behind its exact full prefix.  Each registered
+    Chunks are keyed by a chained :func:`chunk_digest` (the parent chunk's
+    digest folded into this chunk's token bytes) so a chunk is only ever
+    matched behind its exact full prefix, and the keys are process-stable —
+    the sharded front-end hashes the same bytes to pick a replica, so the
+    replica a prompt lands on is exactly the one whose registry can already
+    hold its prefix.  Each registered
     chunk pins one page per layer (a registry refcount); sequences that
     evict or retire therefore never invalidate a registered prefix — the
     copy-on-write rules in :class:`BlockPool` route their mutations to
@@ -1086,7 +1112,7 @@ class PrefixRegistry:
     def __init__(self, store: PagedKVStore):
         self.store = store
         self.page_size = store.page_size
-        self._chunks: dict[tuple, _PrefixChunk] = {}
+        self._chunks: dict[bytes, _PrefixChunk] = {}
         self._clock = 0
         store.attach_reclaimer(self.reclaim)
 
@@ -1094,8 +1120,8 @@ class PrefixRegistry:
         return len(self._chunks)
 
     @staticmethod
-    def _chunk_key(parent_key, tokens: np.ndarray) -> tuple:
-        return (parent_key, tuple(int(t) for t in tokens))
+    def _chunk_key(parent_key: bytes | None, tokens: np.ndarray) -> bytes:
+        return chunk_digest(tokens, parent_key)
 
     # ------------------------------------------------------------------
     def match(self, token_ids: np.ndarray, max_tokens: int | None = None) -> PrefixMatch | None:

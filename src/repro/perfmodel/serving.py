@@ -24,6 +24,11 @@ expected TTFT for chunked vs. unchunked prefill and a per-step
 **decode-stall bound** — the number the chunked-prefill benchmark gate
 checks empirically (p99 TTFT improves when long prompts are chunked at
 equal throughput).  See ``docs/workloads.md`` for the derivation.
+
+:class:`ReplicaScalingModel` extends the step cost to the multi-replica
+front-end (:mod:`repro.serving.sharded`): aggregate decode throughput vs
+replica count with a router-overhead term and the prefix-hit dilution
+factor affinity routing avoids.  See ``docs/sharding.md``.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["StepCostModel", "TTFTModel"]
+__all__ = ["StepCostModel", "TTFTModel", "ReplicaScalingModel"]
 
 
 @dataclass(frozen=True)
@@ -115,3 +120,97 @@ class TTFTModel:
         if chunk_tokens is None:
             return self.cost.per_prefill_token * max_prompt_len
         return self.cost.per_prefill_token * min(chunk_tokens + 1, max_prompt_len)
+
+
+@dataclass(frozen=True)
+class ReplicaScalingModel:
+    """Aggregate decode throughput vs replica count for sharded serving.
+
+    The sharded front-end (:mod:`repro.serving.sharded`) steps ``N``
+    replicas in parallel; one **super-step** costs the slowest replica's
+    :class:`StepCostModel` step cost plus a fixed ``router_overhead``, and
+    produces the *sum* of the replicas' decode rows.  Throughput therefore
+    scales with ``N`` until the per-step fixed cost and the router overhead
+    dominate — the same saturating shape every scale-out system shows.
+
+    The second effect the model carries is **prefix-hit dilution**: routing
+    same-prefix traffic uniformly over ``N`` replicas makes every replica
+    pay its own cold prefill of each shared prefix, multiplying computed
+    prefill work by up to ``min(N, m)`` for prefixes reused ``m`` times
+    (:meth:`prefill_dilution`); the affinity router's whole purpose is to
+    keep that factor at 1.  The pinned test in
+    ``tests/perfmodel/test_serving_model.py`` checks both terms against
+    measured 1/2/4-replica virtual-time harness runs.
+    """
+
+    cost: StepCostModel
+    router_overhead: float = 0.0
+
+    def __post_init__(self):
+        if self.router_overhead < 0:
+            raise ValueError("router_overhead must be non-negative")
+
+    def super_step_cost(
+        self, rows_per_replica: float, prefill_tokens_per_replica: float = 0.0
+    ) -> float:
+        """Virtual-time cost of one front-end super-step.
+
+        Models the balanced case (every replica does the same work, so the
+        max over replicas equals any one of them) plus the router's fixed
+        per-super-step overhead.
+        """
+        return (
+            self.cost.step_cost(prefill_tokens_per_replica, rows_per_replica)
+            + self.router_overhead
+        )
+
+    def aggregate_throughput(
+        self,
+        n_replicas: int,
+        rows_per_replica: float,
+        prefill_tokens_per_replica: float = 0.0,
+    ) -> float:
+        """Decode tokens per virtual-time unit across all replicas.
+
+        One super-step emits ``n_replicas * rows_per_replica`` decode
+        tokens and costs :meth:`super_step_cost` — feed in the *measured*
+        average per-replica decode rows and prefill tokens per step to
+        predict a harness run's throughput.
+        """
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        tokens = n_replicas * rows_per_replica
+        return tokens / self.super_step_cost(rows_per_replica, prefill_tokens_per_replica)
+
+    def speedup(
+        self,
+        n_replicas: int,
+        rows_per_replica: float,
+        prefill_tokens_per_replica: float = 0.0,
+    ) -> float:
+        """Predicted aggregate-throughput gain of ``N`` replicas over one.
+
+        Both sides run the same per-replica batch (a replica is a full
+        engine with its own ``max_batch_size``), so the gain is ``N`` times
+        the single-engine step cost over the super-step cost — sub-linear
+        exactly by the router overhead.
+        """
+        solo = self.cost.step_cost(prefill_tokens_per_replica, rows_per_replica)
+        return n_replicas * solo / self.super_step_cost(
+            rows_per_replica, prefill_tokens_per_replica
+        )
+
+    @staticmethod
+    def prefill_dilution(n_replicas: int, requests_per_prefix: float) -> float:
+        """Computed-prefill inflation of random routing vs prefix affinity.
+
+        A prefix reused by ``m`` requests costs one cold prefill under
+        affinity routing but up to ``min(N, m)`` cold prefills when its
+        requests spread uniformly over ``N`` replicas — the dilution the
+        rendezvous hash exists to avoid.
+        """
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        if requests_per_prefix < 1:
+            raise ValueError("requests_per_prefix must be >= 1")
+        return min(float(n_replicas), float(requests_per_prefix))

@@ -6,7 +6,9 @@ request lifecycle, scheduler budgets, preemption and the batching
 bit-exactness invariants, ``docs/robustness.md`` for the fault-tolerance
 layer (fault injection, row quarantine, deadlines/retries, pool auditing),
 ``docs/workloads.md`` for the trace-driven load harness, SLO tiers and
-latency-percentile telemetry, and ``docs/kvcache.md`` for the storage layer.
+latency-percentile telemetry, ``docs/sharding.md`` for multi-replica
+sharded serving behind the prefix-affinity router, and ``docs/kvcache.md``
+for the storage layer.
 """
 
 from repro.serving.engine import BatchedGenerator, ContinuousBatchingEngine
@@ -18,6 +20,13 @@ from repro.serving.faults import (
 )
 from repro.serving.request import FinishReason, Request, RequestState, RequestStatus
 from repro.serving.scheduler import FCFSScheduler, PagedScheduler
+from repro.serving.sharded import (
+    PrefixAffinityRouter,
+    ReplicaDead,
+    ReplicaSpec,
+    ShardedEngine,
+    ShardedRequest,
+)
 from repro.serving.slo import (
     TIER_BATCH,
     TIER_INTERACTIVE,
@@ -49,12 +58,17 @@ __all__ = [
     "LatencyReport",
     "LivelockError",
     "PagedScheduler",
+    "PrefixAffinityRouter",
     "PriorityScheduler",
     "ReplayResult",
+    "ReplicaDead",
+    "ReplicaSpec",
     "Request",
     "RequestState",
     "RequestStatus",
     "SLOSpec",
+    "ShardedEngine",
+    "ShardedRequest",
     "SLOTarget",
     "TIER_BATCH",
     "TIER_INTERACTIVE",

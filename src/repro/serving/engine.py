@@ -575,6 +575,21 @@ class ContinuousBatchingEngine:
             return 1.0
         return self.prefill_prompt_tokens / self.prefill_computed_tokens
 
+    def step_virtual_cost(self, cost_model) -> float:
+        """Virtual-time cost of the most recent :meth:`step`.
+
+        The front-end half of the pluggable replay protocol
+        (:func:`~repro.serving.workload.replay_trace`): after each step the
+        harness asks the engine what the step cost under a
+        :class:`~repro.perfmodel.serving.StepCostModel`.  A multi-replica
+        front-end overrides this with the *maximum* over its replicas'
+        per-step costs (they run in parallel on real hardware); the solo
+        engine simply prices its own prefill tokens and decode rows.
+        """
+        return cost_model.step_cost(
+            self.last_step_prefill_tokens, self.last_step_decode_rows
+        )
+
     # ------------------------------------------------------------------
     # engine loop
     # ------------------------------------------------------------------

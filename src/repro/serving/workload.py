@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Protocol, Sequence
 
 import numpy as np
 
@@ -53,9 +53,41 @@ __all__ = [
     "Trace",
     "WorkloadConfig",
     "generate_trace",
+    "ReplayableEngine",
     "ReplayResult",
     "replay_trace",
 ]
+
+
+class ReplayableEngine(Protocol):
+    """The engine front-end protocol :func:`replay_trace` drives.
+
+    Satisfied by :class:`~repro.serving.engine.ContinuousBatchingEngine`
+    and by :class:`~repro.serving.sharded.ShardedEngine`; any front-end
+    implementing these members (plus the ``n_preemptions`` /
+    ``n_prefill_chunks`` / ``prefill_prompt_tokens`` /
+    ``prefill_computed_tokens`` counters the stats snapshot reads) can be
+    replayed.
+    """
+
+    step_count: int
+
+    def submit(self, prompt_ids, config=None, *, priority: int = 0) -> Any:
+        """Queue one request; returns a state handle with step stamps."""
+        ...
+
+    def step(self) -> list:
+        """Advance by one step; returns the requests finished during it."""
+        ...
+
+    def step_virtual_cost(self, cost_model) -> float:
+        """Virtual-time cost of the most recent :meth:`step`."""
+        ...
+
+    @property
+    def has_work(self) -> bool:
+        """True while any request is queued or running."""
+        ...
 
 
 # ----------------------------------------------------------------------
@@ -325,23 +357,32 @@ class ReplayResult:
 
 
 def replay_trace(
-    engine: "ContinuousBatchingEngine",
+    engine: "ContinuousBatchingEngine | ReplayableEngine",
     trace: Trace,
     cost_model: "StepCostModel",
     slo: SLOSpec | None = None,
     temperature: float = 0.0,
     seed: int = 0,
 ) -> ReplayResult:
-    """Drive ``engine`` through ``trace`` in virtual step-time.
+    """Drive an engine front-end through ``trace`` in virtual step-time.
 
     The virtual clock starts at 0 and advances only when the engine steps:
-    by ``cost_model.step_cost(prefill_tokens, decode_rows)`` of what the
-    step actually computed.  Arrivals whose time has passed are submitted
-    before each step (in trace order); when the engine is idle the clock
-    jumps to the next arrival.  Per-request timestamps come from the
-    engine's ``first_token_step``/``finished_step`` stamps through the
-    step→time table, so the replay is exactly as deterministic as the
-    engine itself — same trace, same report, byte for byte.
+    by ``engine.step_virtual_cost(cost_model)`` of what the step actually
+    computed.  Arrivals whose time has passed are submitted before each
+    step (in trace order); when the engine is idle the clock jumps to the
+    next arrival.  Per-request timestamps come from the engine's
+    ``first_token_step``/``finished_step`` stamps through the step→time
+    table, so the replay is exactly as deterministic as the engine itself
+    — same trace, same report, byte for byte.
+
+    ``engine`` is pluggable: anything implementing the small replay
+    protocol works — ``submit(prompt_ids, config, priority=...)`` returning
+    a state with step stamps, ``step()``, ``has_work``, ``step_count``,
+    ``step_virtual_cost`` and the prefill/preemption counters.  Both
+    :class:`~repro.serving.engine.ContinuousBatchingEngine` and the
+    multi-replica :class:`~repro.serving.sharded.ShardedEngine` do (for the
+    sharded front-end a step's cost is the *max* over its replicas' costs —
+    replicas run in parallel, so the wall clock follows the slowest one).
 
     ``temperature``/``seed`` set the per-request sampling config (greedy by
     default, which makes replay output independent of the sampling seed).
@@ -371,9 +412,7 @@ def replay_trace(
             i += 1
         if engine.has_work:
             engine.step()
-            vtime += cost_model.step_cost(
-                engine.last_step_prefill_tokens, engine.last_step_decode_rows
-            )
+            vtime += engine.step_virtual_cost(cost_model)
             step_time[engine.step_count] = vtime
 
     records = tuple(

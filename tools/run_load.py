@@ -17,6 +17,12 @@ Knobs worth turning (see ``docs/workloads.md`` for the full story):
   TTFT drop as long prompts stop stalling their neighbours.
 * ``--scheduler priority`` — SLO-tiered admission + priority preemption;
   compare the per-tier TTFT sections of the report.
+* ``--replicas N`` — replay through a
+  :class:`~repro.serving.sharded.ShardedEngine` of N engine replicas
+  behind the prefix-affinity router (0 = plain single engine); see
+  ``docs/sharding.md``.  ``--smoke --replicas 1`` additionally asserts the
+  sharded report's engine+latency sections are byte-identical to the
+  single-engine report (the routing-never-changes-output contract).
 
 Example::
 
@@ -38,6 +44,7 @@ from repro.models.transformer import DecoderLM  # noqa: E402
 from repro.perfmodel.serving import StepCostModel  # noqa: E402
 from repro.serving.engine import ContinuousBatchingEngine  # noqa: E402
 from repro.serving.scheduler import PagedScheduler  # noqa: E402
+from repro.serving.sharded import ReplicaSpec, ShardedEngine  # noqa: E402
 from repro.serving.slo import SLOSpec  # noqa: E402
 from repro.serving.workload import (  # noqa: E402
     Trace,
@@ -61,9 +68,9 @@ REPORT_SCHEMA_KEYS = (
 )
 
 
-def build_model(args: argparse.Namespace) -> DecoderLM:
-    """The small rope model the harness drives (seeded, CPU-friendly)."""
-    config = ModelConfig(
+def model_config(args: argparse.Namespace) -> ModelConfig:
+    """The small rope model config the harness drives (CPU-friendly)."""
+    return ModelConfig(
         vocab_size=args.vocab_size,
         d_model=64,
         n_layers=2,
@@ -72,7 +79,11 @@ def build_model(args: argparse.Namespace) -> DecoderLM:
         max_seq_len=512,
         positional="rope",
     )
-    return DecoderLM(config, seed=0)
+
+
+def build_model(args: argparse.Namespace) -> DecoderLM:
+    """The seeded harness model (every sharded replica rebuilds the same)."""
+    return DecoderLM(model_config(args), seed=0)
 
 
 def build_engine(model: DecoderLM, args: argparse.Namespace) -> ContinuousBatchingEngine:
@@ -100,12 +111,30 @@ def workload_config(args: argparse.Namespace) -> WorkloadConfig:
     )
 
 
+def build_sharded(args: argparse.Namespace) -> ShardedEngine:
+    """A sharded front-end over ``--replicas`` engine replicas."""
+    chunk = args.chunk_tokens if args.chunk_tokens > 0 else None
+    spec = ReplicaSpec(
+        model_config=model_config(args),
+        model_seed=0,
+        scheduler=args.scheduler,
+        max_batch_size=args.max_batch_size,
+        prefill_chunk_tokens=chunk,
+    )
+    return ShardedEngine(spec, args.replicas, backend=args.replica_backend)
+
+
 def run_once(model: DecoderLM, trace: Trace, args: argparse.Namespace) -> dict:
     """One full replay; returns the structured report dict."""
-    engine = build_engine(model, args)
+    sharded = args.replicas > 0
+    engine = build_sharded(args) if sharded else build_engine(model, args)
     cost = StepCostModel()
     slo = SLOSpec.three_tier(ttft=args.slo_ttft, e2e=args.slo_e2e)
-    result = replay_trace(engine, trace, cost, slo=slo)
+    try:
+        result = replay_trace(engine, trace, cost, slo=slo)
+    finally:
+        if sharded:
+            engine.shutdown()
     return {
         "harness": {
             "seed": args.seed,
@@ -114,6 +143,7 @@ def run_once(model: DecoderLM, trace: Trace, args: argparse.Namespace) -> dict:
             "chunk_tokens": args.chunk_tokens,
             "scheduler": args.scheduler,
             "max_batch_size": args.max_batch_size,
+            "replicas": args.replicas,
             "slo": {"ttft": args.slo_ttft, "e2e": args.slo_e2e},
             "cost_model": {
                 "fixed": cost.fixed,
@@ -142,6 +172,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--scheduler", choices=("paged", "priority"), default="priority")
     parser.add_argument("--max-batch-size", type=int, default=4)
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="replay through a ShardedEngine of N replicas (0 = single engine)",
+    )
+    parser.add_argument(
+        "--replica-backend",
+        choices=("process", "inline"),
+        default="process",
+        help="sharded backend: multiprocessing workers or in-process replicas",
+    )
     parser.add_argument("--slo-ttft", type=float, default=200.0)
     parser.add_argument("--slo-e2e", type=float, default=1200.0)
     parser.add_argument("--output", type=Path, default=Path("load_report.json"))
@@ -177,6 +219,22 @@ def main(argv: list[str] | None = None) -> int:
         if missing:
             print(f"FAIL: report missing latency keys: {missing}")
             return 1
+        if args.replicas == 1:
+            # The sharded bit-exactness contract at N=1: same engine stats,
+            # same latency report, byte for byte, as the plain engine.
+            solo_args = argparse.Namespace(**vars(args))
+            solo_args.replicas = 0
+            solo = run_once(model, trace, solo_args)
+            for section in ("engine", "latency"):
+                ours = json.dumps(report[section], indent=2, sort_keys=True)
+                theirs = json.dumps(solo[section], indent=2, sort_keys=True)
+                if ours != theirs:
+                    print(
+                        f"FAIL: sharded N=1 {section} report differs from "
+                        "the single-engine report"
+                    )
+                    return 1
+            print("smoke OK: sharded N=1 byte-identical to single engine")
         print("smoke OK: byte-identical replays, schema complete")
 
     args.output.write_text(text + "\n")
