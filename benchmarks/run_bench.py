@@ -65,6 +65,18 @@ SHARED_PREFIX_LEN = 512
 SHARED_SUFFIX_LEN = 32
 SHARED_DECODE_TOKENS = 8
 
+# Admission-retention geometry: one hot 8-page shared prefix served between
+# bursts of unique one-shot prompts at a pool budget too small to hold both —
+# the scan-thrash workload where LRU leaf-first reclaim evicts the shared
+# prefix every burst while W-TinyLFU's frequency sketch keeps it resident.
+# Deterministic (pure registry counters), so the retention ratio is pinned
+# exactly and gated by check_regression.py.
+ADMISSION_HOT_LEN = 130  # 8 full 16-token pages + the 2-token recompute tail
+ADMISSION_SCAN_LEN = 32
+ADMISSION_SCANS_PER_BURST = 10
+ADMISSION_BURSTS = 4
+ADMISSION_POOL_TOKENS = 256  # 16 pages/layer: hot chain pins 8
+
 # Quantized-KV geometry: the serving model at 1k context under a fixed
 # page-pool byte budget.  The concurrency/bytes components are *deterministic*
 # (pure byte accounting — identical on every machine), so they are pinned as
@@ -372,6 +384,78 @@ def bench_shared_prefix(rounds: int) -> dict[str, dict]:
             # identical on every machine, so the CI floor is exact.
             "speedup": round(savings, 2),
             "rounds": rounds,
+        },
+    }
+
+
+def bench_admission_retention() -> dict[str, dict]:
+    """Prefix retention under scan churn: W-TinyLFU vs LRU reclaim.
+
+    Replays the deterministic churn trace (see the ``ADMISSION_*`` geometry
+    constants) once per ``admission_policy`` at an identical pool budget and
+    compares the registry's saved-prefill-token counters.  **Deterministic**
+    (identical in smoke and full runs, on every machine): the trace is a
+    pure function of a pinned seed, and the counters are exact integers —
+    so the retention ratio is gated exactly by ``check_regression.py``.
+    Wall clock is irrelevant here and never measured.
+    """
+    model = DecoderLM(
+        ModelConfig(
+            vocab_size=96,
+            d_model=32,
+            n_layers=2,
+            n_heads=4,
+            d_ff=64,
+            max_seq_len=256,
+            positional="rope",
+        ),
+        seed=0,
+    )
+    config = GenerationConfig(max_new_tokens=4)
+
+    def replay(admission_policy: str) -> tuple[int, float]:
+        rng = np.random.default_rng(7)
+        hot = rng.integers(0, 96, size=ADMISSION_HOT_LEN).astype(np.int64)
+        scans = iter(
+            rng.integers(0, 96, size=ADMISSION_SCAN_LEN).astype(np.int64)
+            for _ in range(ADMISSION_SCANS_PER_BURST * ADMISSION_BURSTS)
+        )
+        engine = ContinuousBatchingEngine(
+            model,
+            max_batch_size=2,
+            max_pool_tokens=ADMISSION_POOL_TOKENS,
+            admission_policy=admission_policy,
+        )
+
+        def serve(prompt):
+            engine.submit(prompt, config, sampler=GreedySampler())
+            engine.run()
+
+        serve(hot)
+        serve(hot)  # second pass promotes the hot chunks into protected
+        for _ in range(ADMISSION_BURSTS):
+            for _ in range(ADMISSION_SCANS_PER_BURST):
+                serve(next(scans))
+            serve(hot)
+        registry = engine._manager.registry
+        return registry.telemetry()["hit_tokens"], engine.prefill_savings
+
+    lru_tokens, lru_savings = replay("lru")
+    wt_tokens, wt_savings = replay("wtinylfu")
+    return {
+        "prefix_admission_hit_tokens_lru": {
+            "hit_tokens": lru_tokens,
+            "prefill_savings": round(lru_savings, 4),
+        },
+        "prefix_admission_hit_tokens_wtinylfu": {
+            "hit_tokens": wt_tokens,
+            "prefill_savings": round(wt_savings, 4),
+        },
+        "prefix_admission_retention": {
+            # Saved-prefill-token ratio at equal pool budget — exact integer
+            # counters, so the CI floor is exact.
+            "speedup": round(wt_tokens / max(1, lru_tokens), 2),
+            "rounds": 1,
         },
     }
 
@@ -896,6 +980,9 @@ def run_suite(smoke: bool = False) -> dict:
         components[f"serve_batch{SERVE_BATCH}_{serve_policy}_{SERVE_PROMPT_LEN}"] = batched
         components[f"serve_speedup_{serve_policy}_{SERVE_PROMPT_LEN}"] = speedup
     components.update(bench_shared_prefix(serve_rounds))
+    # Admission retention is deterministic counter accounting on a pinned
+    # churn trace — identical in smoke and full runs, gated exactly.
+    components.update(bench_admission_retention())
     # Quantized-KV components are deterministic byte accounting plus a fixed
     # greedy accuracy probe — identical in smoke and full runs, so the CI
     # gate compares the pinned memory ratios exactly.

@@ -6,8 +6,20 @@ batch cache (:class:`BatchedLayerKVCache`) are thin views over per-layer
 :mod:`repro.kvcache.paged`.  A ``kv_dtype="int8"`` knob swaps the pools for
 :class:`QuantizedBlockPool` (int8 pages with per-page/per-head scales, see
 :mod:`repro.kvcache.quant`) without changing any cache-facing API.
+
+An ``admission_policy="wtinylfu"`` knob swaps the prefix registry's LRU
+leaf-first reclaim for frequency-aware W-TinyLFU admission
+(:class:`FrequencySketch` + :class:`WTinyLFUAdmissionPolicy`, see
+:mod:`repro.kvcache.admission`) so hot shared prompt prefixes survive scan
+bursts of unique prompts.
 """
 
+from repro.kvcache.admission import (
+    ADMISSION_POLICIES,
+    FrequencySketch,
+    WTinyLFUAdmissionPolicy,
+    resolve_admission_policy,
+)
 from repro.kvcache.batch import BatchedCacheManager, BatchedLayerKVCache, BatchedLayerView
 from repro.kvcache.cache import LayerKVCache
 from repro.kvcache.manager import CacheManager, LayerCacheView
@@ -26,6 +38,10 @@ from repro.kvcache.quant import QuantizedBlockPool
 from repro.kvcache.stats import CacheStats
 
 __all__ = [
+    "ADMISSION_POLICIES",
+    "FrequencySketch",
+    "WTinyLFUAdmissionPolicy",
+    "resolve_admission_policy",
     "LayerKVCache",
     "CacheManager",
     "LayerCacheView",

@@ -395,6 +395,11 @@ class BatchedCacheManager:
         full-precision pages, ``"int8"`` stores quantized pages (see
         :mod:`repro.kvcache.quant`) — the same fixed byte budget then holds
         roughly 4x (float32) to 8x (float64) more tokens.
+    admission_policy:
+        Reclaim/admission policy of the prefix registry: ``"lru"``
+        (default, byte-exact historical leaf-first reclaim) or
+        ``"wtinylfu"`` (frequency-aware W-TinyLFU admission, see
+        :mod:`repro.kvcache.admission`).
     """
 
     def __init__(
@@ -409,6 +414,7 @@ class BatchedCacheManager:
         page_size: int = DEFAULT_PAGE_SIZE,
         max_pool_tokens: int | None = None,
         kv_dtype: str | None = None,
+        admission_policy: str = "lru",
     ):
         if positional_mode not in ("original", "new"):
             raise ValueError(f"unknown positional mode {positional_mode!r}")
@@ -436,6 +442,7 @@ class BatchedCacheManager:
             n_pages=n_pages,
             growable=max_pool_tokens is None,
             kv_dtype=kv_dtype,
+            admission_policy=admission_policy,
         )
         self.registry = PrefixRegistry(self.store)
         self.caches = [
@@ -745,6 +752,9 @@ class BatchedCacheManager:
         violations.extend(
             self.store.check_invariants(owners, self.registry.pinned_pages())
         )
+        # Registry structure: parent chains intact, and (under wtinylfu)
+        # SLRU segment membership in lockstep with the pinned chunk set.
+        violations.extend(self.registry.audit())
         return violations
 
     # ------------------------------------------------------------------
@@ -912,7 +922,15 @@ class BatchedCacheManager:
     def pool_usage(self) -> dict:
         """Aggregate page-pool utilization (pages *and* bytes — see
         :meth:`repro.kvcache.paged.PagedKVStore.usage`) plus registry
-        occupancy."""
+        occupancy.
+
+        Under the non-default ``"wtinylfu"`` admission policy an
+        ``admission`` sub-dict carries the registry's sketch / segment /
+        admission-decision counters; the default ``"lru"`` report stays
+        byte-identical to the historical schema.
+        """
         usage = self.store.usage()
         usage["registry_chunks"] = len(self.registry)
+        if self.registry.admission_policy != "lru":
+            usage["admission"] = self.registry.telemetry()
         return usage

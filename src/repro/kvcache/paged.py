@@ -46,6 +46,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.kvcache.admission import resolve_admission_policy
 from repro.models.positional import RopeTable, get_rope_table
 
 __all__ = [
@@ -917,11 +918,22 @@ class PagedKVStore:
         n_pages: int | None = None,
         growable: bool = True,
         kv_dtype: str | None = None,
+        admission_policy: str = "lru",
     ):
         self.n_layers = n_layers
         self.page_size = int(page_size)
         self.growable = growable
         self.kv_dtype = kv_dtype
+        if admission_policy not in ("lru", "wtinylfu"):
+            raise ValueError(
+                f"unknown admission_policy {admission_policy!r}; "
+                "expected 'lru' or 'wtinylfu'"
+            )
+        #: Reclaim/admission policy a :class:`PrefixRegistry` attached to
+        #: this store adopts by default (``"lru"`` keeps the historical
+        #: byte-exact leaf-first reclaim; ``"wtinylfu"`` enables
+        #: frequency-aware admission — see :mod:`repro.kvcache.admission`).
+        self.admission_policy = admission_policy
         pool_cls = resolve_pool_class(kv_dtype)
         self.pools = [
             pool_cls(
@@ -1106,14 +1118,33 @@ class PrefixRegistry:
     evict or retire therefore never invalidate a registered prefix — the
     copy-on-write rules in :class:`BlockPool` route their mutations to
     private pages.  When a non-growable pool runs out, :meth:`reclaim` drops
-    the least-recently-used leaf chunks until enough pages come free.
+    leaf chunks until enough pages come free: least-recently-used first
+    under the default ``"lru"`` admission policy (byte-exact with the
+    historical behavior), or by W-TinyLFU competitive admission under
+    ``"wtinylfu"`` (see :mod:`repro.kvcache.admission`) — in both cases a
+    parent chunk is never dropped while a descendant is live.
     """
 
-    def __init__(self, store: PagedKVStore):
+    def __init__(self, store: PagedKVStore, admission_policy: str | None = None):
         self.store = store
         self.page_size = store.page_size
         self._chunks: dict[bytes, _PrefixChunk] = {}
         self._clock = 0
+        if admission_policy is None:
+            admission_policy = getattr(store, "admission_policy", "lru")
+        self.admission_policy = admission_policy
+        # Nominal chunk capacity = per-layer pool pages (the most chunks the
+        # registry could ever pin); sizes the W-TinyLFU segments and sketch.
+        capacity = store.pools[0].n_pages if store.pools else 64
+        self._admission = resolve_admission_policy(admission_policy, capacity)
+        #: Chunks served from the registry by :meth:`match` (cumulative).
+        self.n_hits = 0
+        #: Prompt tokens mapped from resident pages instead of recomputed.
+        self.n_hit_tokens = 0
+        #: Chunks newly registered (cumulative, across reclaim cycles).
+        self.n_registered = 0
+        #: Chunks dropped under pool pressure (:meth:`reclaim` victims).
+        self.n_reclaimed = 0
         store.attach_reclaimer(self.reclaim)
 
     def __len__(self) -> int:
@@ -1149,6 +1180,11 @@ class PrefixRegistry:
             covered += ps
         if not matched:
             return None
+        self.n_hits += len(matched)
+        self.n_hit_tokens += covered
+        if self._admission is not None:
+            for chunk in matched:
+                self._admission.on_access(chunk.key)
         pages_per_layer = [
             [chunk.pages_per_layer[layer] for chunk in matched]
             for layer in range(self.store.n_layers)
@@ -1181,8 +1217,13 @@ class PrefixRegistry:
                 if parent is not None:
                     self._chunks[parent].children.add(key)
                 added += 1
+                if self._admission is not None:
+                    self._admission.on_insert(key)
+            elif self._admission is not None:
+                self._admission.on_access(key)
             chunk.last_used = self._clock
             parent = key
+        self.n_registered += added
         return added
 
     # ------------------------------------------------------------------
@@ -1204,28 +1245,41 @@ class PrefixRegistry:
         return sum(1 for chunk in self._chunks.values() if self._freeable(chunk))
 
     def reclaim(self, n_pages: int) -> int:
-        """Drop least-recently-used leaf chunks until ``n_pages`` pages per
-        layer came free (or nothing freeable remains).  Returns the number of
-        pages freed per layer.
+        """Drop leaf chunks until ``n_pages`` pages per layer came free (or
+        nothing freeable remains).  Returns the number of pages freed per
+        layer.
 
         Freeable leaves go first; when none exist, an unfreeable leaf is
         dropped only if that unblocks a freeable ancestor — chunks that can
         free nothing (their pages are mapped by live rows) are never wasted.
+        Victim *ranking* within the eligible set is the admission policy's:
+        least-recently-used under ``"lru"`` (byte-exact historical
+        behavior), W-TinyLFU competitive admission under ``"wtinylfu"``.
+        Only leaves are ever eligible, so a parent chunk can never be
+        reclaimed while a descendant is live — under either policy.
         """
         freed = 0
         while freed < n_pages and self._chunks:
             leaves = [c for c in self._chunks.values() if not c.children]
             freeable = [c for c in leaves if self._freeable(c)]
             if freeable:
-                victim = min(freeable, key=lambda c: c.last_used)
+                victim = self._select_victim(freeable)
                 freed += 1
             else:
                 blocking = [c for c in leaves if self._has_freeable_ancestor(c)]
                 if not blocking:
                     break
-                victim = min(blocking, key=lambda c: c.last_used)
+                victim = self._select_victim(blocking)
             self._drop(victim)
+            self.n_reclaimed += 1
         return freed
+
+    def _select_victim(self, eligible: list) -> _PrefixChunk:
+        """Rank the eligible victim set through the admission policy."""
+        if self._admission is None:
+            return min(eligible, key=lambda c: c.last_used)
+        key = self._admission.choose_victim([c.key for c in eligible])
+        return self._chunks[key]
 
     def _has_freeable_ancestor(self, chunk: _PrefixChunk) -> bool:
         key = chunk.parent
@@ -1239,11 +1293,21 @@ class PrefixRegistry:
         return False
 
     def _drop(self, chunk: _PrefixChunk) -> None:
+        if chunk.children:
+            # Explicit chain guard, not an iteration-order accident: a parent
+            # reclaimed while a descendant is live would leave the child's
+            # chained key matchable with its prefix pages gone.
+            raise PoolIntegrityError(
+                f"refusing to drop chunk {chunk.key.hex()} with "
+                f"{len(chunk.children)} live descendant chunk(s)"
+            )
         for layer, page in enumerate(chunk.pages_per_layer):
             self.store.pools[layer].release([page])
         if chunk.parent is not None and chunk.parent in self._chunks:
             self._chunks[chunk.parent].children.discard(chunk.key)
         del self._chunks[chunk.key]
+        if self._admission is not None:
+            self._admission.on_drop(chunk.key)
 
     def pinned_pages(self) -> list[list[int]]:
         """Per-layer page ids the registry currently pins (one per chunk).
@@ -1257,6 +1321,59 @@ class PrefixRegistry:
             for layer, page in enumerate(chunk.pages_per_layer):
                 pinned[layer].append(page)
         return pinned
+
+    def audit(self) -> list[str]:
+        """Structural audit of chunk chains and admission segments.
+
+        Checks that every chunk's parent is still registered and back-links
+        it as a child (the reclaim-ordering bug class: a parent reclaimed
+        while a descendant is live would break exactly this), that children
+        sets reference only live chunks, and — when frequency-aware
+        admission is active — that SLRU segment membership matches the
+        registered chunk set exactly (every segment entry pins refcounted
+        pages, every pinned chunk sits in exactly one segment; see
+        :meth:`repro.kvcache.admission.WTinyLFUAdmissionPolicy.audit`).
+        Returns violation strings (empty = clean).
+        """
+        violations: list[str] = []
+        for key, chunk in self._chunks.items():
+            if chunk.parent is not None:
+                parent = self._chunks.get(chunk.parent)
+                if parent is None:
+                    violations.append(
+                        f"registry: chunk {key.hex()} is live but its parent "
+                        f"{chunk.parent.hex()} was reclaimed"
+                    )
+                elif key not in parent.children:
+                    violations.append(
+                        f"registry: chunk {key.hex()} not back-linked as a "
+                        f"child of {chunk.parent.hex()}"
+                    )
+            for child in chunk.children:
+                if child not in self._chunks:
+                    violations.append(
+                        f"registry: chunk {key.hex()} lists reclaimed child "
+                        f"{child.hex()}"
+                    )
+        if self._admission is not None:
+            violations.extend(self._admission.audit(self._chunks.keys()))
+        return violations
+
+    def telemetry(self) -> dict:
+        """Registry hit/savings counters, plus admission counters when the
+        ``"wtinylfu"`` policy is active (see
+        :meth:`repro.kvcache.admission.WTinyLFUAdmissionPolicy.telemetry`)."""
+        out = {
+            "policy": self.admission_policy,
+            "chunks": len(self._chunks),
+            "hits": self.n_hits,
+            "hit_tokens": self.n_hit_tokens,
+            "registered": self.n_registered,
+            "reclaimed": self.n_reclaimed,
+        }
+        if self._admission is not None:
+            out.update(self._admission.telemetry())
+        return out
 
     def clear(self) -> None:
         """Drop every registered chunk (leaf-first), releasing all pins."""

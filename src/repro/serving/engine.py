@@ -70,6 +70,7 @@ import numpy as np
 from repro.core.policies import EvictionPolicy, FullAttentionPolicy
 from repro.generation.generator import GenerationResult, Generator
 from repro.generation.sampler import GreedySampler, Sampler, make_sampler, sample_rows
+from repro.kvcache.admission import ADMISSION_POLICIES
 from repro.kvcache.batch import BatchedCacheManager
 from repro.kvcache.paged import (
     DEFAULT_PAGE_SIZE,
@@ -208,6 +209,16 @@ class ContinuousBatchingEngine:
         Automatically skipped per request for policies that consume prompt
         attention values (Keyformer, H2O); bit-exactness is unaffected either
         way.
+    admission_policy:
+        How the prefix registry picks reclaim victims under pool pressure:
+        ``"lru"`` (default) keeps the historical least-recently-used
+        leaf-first reclaim byte-exactly; ``"wtinylfu"`` ranks victims by
+        W-TinyLFU competitive admission (count-min sketched frequency over
+        window/probation/protected SLRU segments — see
+        :mod:`repro.kvcache.admission`), which retains hot shared prefixes
+        through scan bursts.  Outputs stay bit-identical to solo decoding
+        under both values; only which prefixes stay resident (and hence
+        prefill savings) differs.
     speculation:
         When set, running requests decode through the draft-then-verify loop
         (:mod:`repro.speculative`) instead of one token per step: each engine
@@ -266,6 +277,7 @@ class ContinuousBatchingEngine:
         max_pool_bytes: int | None = None,
         kv_dtype: str | None = None,
         enable_prefix_sharing: bool = True,
+        admission_policy: str = "lru",
         speculation: SpeculationConfig | None = None,
         faults: FaultInjector | None = None,
         fault_tolerant: bool | None = None,
@@ -352,6 +364,12 @@ class ContinuousBatchingEngine:
         self.max_pool_bytes = max_pool_bytes
         self.max_pool_tokens = max_pool_tokens
         self.enable_prefix_sharing = enable_prefix_sharing
+        if admission_policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission_policy {admission_policy!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
+        self.admission_policy = admission_policy
         self.speculation = speculation
         #: Per-request drafter + telemetry, keyed by request id (spec mode).
         self._spec: dict[int, tuple[Drafter, SpeculationStats]] = {}
@@ -1587,6 +1605,7 @@ class ContinuousBatchingEngine:
             page_size=self.page_size,
             max_pool_tokens=self.max_pool_tokens,
             kv_dtype=self.kv_dtype,
+            admission_policy=self.admission_policy,
         )
         self._layer_views = self._manager.layer_views()
         if self.faults is not None:
@@ -1699,6 +1718,7 @@ class BatchedGenerator:
         max_pool_bytes: int | None = None,
         kv_dtype: str | None = None,
         enable_prefix_sharing: bool = True,
+        admission_policy: str = "lru",
         speculation: SpeculationConfig | None = None,
     ):
         self.model = model
@@ -1711,6 +1731,7 @@ class BatchedGenerator:
         self.max_pool_bytes = max_pool_bytes
         self.kv_dtype = kv_dtype
         self.enable_prefix_sharing = enable_prefix_sharing
+        self.admission_policy = admission_policy
         self.speculation = speculation
 
     def _engine(self) -> ContinuousBatchingEngine:
@@ -1725,6 +1746,7 @@ class BatchedGenerator:
             max_pool_bytes=self.max_pool_bytes,
             kv_dtype=self.kv_dtype,
             enable_prefix_sharing=self.enable_prefix_sharing,
+            admission_policy=self.admission_policy,
             speculation=self.speculation,
         )
 

@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.core.registry import make_policy
 from repro.generation.generator import GenerationResult
+from repro.kvcache.admission import ADMISSION_POLICIES
 from repro.kvcache.paged import DEFAULT_PAGE_SIZE, chunk_digest
 from repro.models.config import GenerationConfig, ModelConfig
 from repro.models.transformer import DecoderLM
@@ -102,12 +103,18 @@ class ReplicaSpec:
     max_pool_bytes: int | None = None
     kv_dtype: str | None = None
     enable_prefix_sharing: bool = True
+    admission_policy: str = "lru"
     max_retries: int = 0
     deadline_steps: int | None = None
 
     def __post_init__(self):
         if self.scheduler not in ("paged", "priority"):
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.admission_policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission_policy {self.admission_policy!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
 
     def build_engine(self) -> ContinuousBatchingEngine:
         """Construct the replica's engine (called inside the worker)."""
@@ -128,6 +135,7 @@ class ReplicaSpec:
             max_pool_bytes=self.max_pool_bytes,
             kv_dtype=self.kv_dtype,
             enable_prefix_sharing=self.enable_prefix_sharing,
+            admission_policy=self.admission_policy,
             max_retries=self.max_retries,
             deadline_steps=self.deadline_steps,
         )

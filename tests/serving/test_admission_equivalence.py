@@ -1,0 +1,116 @@
+"""Property test: the admission-policy knob never changes served outputs.
+
+W-TinyLFU admission only re-ranks which registered prefix chunk is
+sacrificed under pool pressure — chunk reuse and reclaim change *where*
+prompt pages come from, never the bits computed from them.  Hypothesis
+drives random request subsets, submission orders, engine widths and small
+fixed pools (tight enough to force registry reclaim) across
+``admission_policy`` × ``kv_dtype`` combinations, stepping the engine
+manually so the full pool audit runs after **every** step (hence after
+every reclaim): outputs must stay bit-identical to dedicated solo runs, the
+strict invariant check must stay clean throughout, and at drain time every
+used page must be a registry pin — zero leaked pages.
+
+The fp64 prompt set includes a deliberate shared 32-token prefix so the
+registry serves real cross-request hits; the int8 set keeps prompts
+disjoint because shared-prefix prefill under int8 reads dequantized pages —
+the one documented tolerance-level path (see
+``tests/serving/test_quant_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generation.generator import Generator
+from repro.generation.sampler import GreedySampler
+from repro.kvcache.admission import ADMISSION_POLICIES
+from repro.models.config import GenerationConfig, ModelConfig
+from repro.models.transformer import DecoderLM
+from repro.serving.engine import ContinuousBatchingEngine
+
+VOCAB = 96
+MAX_NEW_TOKENS = 8
+PROMPT_LENGTHS = (41, 18, 29, 37)
+
+_MODEL = DecoderLM(
+    ModelConfig(
+        vocab_size=VOCAB,
+        d_model=32,
+        n_layers=2,
+        n_heads=4,
+        d_ff=64,
+        max_seq_len=256,
+        positional="rope",
+    ),
+    seed=0,
+)
+
+_RNG = np.random.default_rng(31)
+#: fp64 prompts share a 32-token prefix (two full pages) between the first
+#: and last request; int8 prompts stay disjoint (see module docstring).
+_PROMPTS = {
+    None: [_RNG.integers(0, VOCAB, size=n).astype(np.int64) for n in PROMPT_LENGTHS],
+    "int8": [
+        _RNG.integers(0, VOCAB, size=n).astype(np.int64) for n in PROMPT_LENGTHS
+    ],
+}
+_PROMPTS[None][3] = np.concatenate([_PROMPTS[None][0][:32], _PROMPTS[None][3][32:]])
+_CONFIG = GenerationConfig(max_new_tokens=MAX_NEW_TOKENS)
+
+#: Dedicated single-request reference outputs, computed once per kv dtype.
+_EXPECTED = {
+    dtype: [
+        Generator(_MODEL, kv_dtype=dtype).generate(p, _CONFIG, sampler=GreedySampler())
+        for p in prompts
+    ]
+    for dtype, prompts in _PROMPTS.items()
+}
+
+
+@pytest.mark.parametrize("kv_dtype", [None, "int8"])
+@pytest.mark.parametrize("admission_policy", ADMISSION_POLICIES)
+@settings(max_examples=6, deadline=None)
+@given(
+    order=st.permutations(list(range(len(PROMPT_LENGTHS)))),
+    max_batch_size=st.integers(min_value=1, max_value=4),
+    pool_pages=st.integers(min_value=8, max_value=14),
+    data=st.data(),
+)
+def test_admission_schedules_reproduce_solo_outputs(
+    admission_policy, kv_dtype, order, max_batch_size, pool_pages, data
+):
+    subset = order[: data.draw(st.integers(min_value=1, max_value=len(order)))]
+    engine = ContinuousBatchingEngine(
+        _MODEL,
+        max_batch_size=max_batch_size,
+        max_pool_tokens=pool_pages * 16,
+        kv_dtype=kv_dtype,
+        admission_policy=admission_policy,
+    )
+    states = [
+        engine.submit(_PROMPTS[kv_dtype][i], _CONFIG, sampler=GreedySampler())
+        for i in subset
+    ]
+    while engine.has_work:
+        engine.step()
+        # Strict pool audit after every step: refcount cross-reference,
+        # registry chain audit and SLRU segment-vs-pin cross-check — so a
+        # reclaim that broke a chain or leaked a segment entry fails here,
+        # at the step that caused it.
+        engine.check_invariants(strict=True)
+    for state, request_index in zip(states, subset):
+        expected = _EXPECTED[kv_dtype][request_index]
+        assert state.tokens == expected.sequences[0]
+        assert state.result().log_probs == expected.log_probs
+        assert state.n_steps == expected.n_steps
+    # Zero leaked pages: every row retired, so the only remaining page
+    # references are the registry's prefix pins — one page per layer per
+    # registered chunk.
+    registry = engine._manager.registry
+    for pool in engine._manager.store.pools:
+        assert pool.used_pages == len(registry)
+    assert registry.audit() == []
