@@ -6,9 +6,13 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 # Written into the workspace (and gitignored) rather than /tmp so concurrent
-# CI jobs on one runner never clobber each other's reports.
+# CI jobs on one runner never clobber each other's reports.  Load reports go
+# under $(REPORT_DIR) so per-run artifacts never litter the repo root.
 BENCH_SMOKE_OUT ?= BENCH_smoke.json
-LOAD_REPORT_OUT ?= load_report.json
+REPORT_DIR ?= reports
+LOAD_REPORT_OUT ?= $(REPORT_DIR)/load_report.json
+SHARDED_LOAD_REPORT_OUT ?= $(REPORT_DIR)/sharded_load_report.json
+SHARDED1_LOAD_REPORT_OUT ?= $(REPORT_DIR)/sharded1_load_report.json
 
 .PHONY: test test-cov bench bench-smoke bench-gate lint docs-check serve-demo chaos load load-smoke check
 
@@ -60,8 +64,8 @@ load:
 # must be byte-identical to the single-engine report (docs/sharding.md).
 load-smoke:
 	$(PYTHON) tools/run_load.py --smoke --output $(LOAD_REPORT_OUT)
-	$(PYTHON) tools/run_load.py --smoke --replicas 2 --output sharded_$(LOAD_REPORT_OUT)
-	$(PYTHON) tools/run_load.py --smoke --replicas 1 --output sharded1_$(LOAD_REPORT_OUT)
+	$(PYTHON) tools/run_load.py --smoke --replicas 2 --output $(SHARDED_LOAD_REPORT_OUT)
+	$(PYTHON) tools/run_load.py --smoke --replicas 1 --output $(SHARDED1_LOAD_REPORT_OUT)
 
 # Pinned 1000-step seeded fault-injection campaign (the CI chaos job): every
 # injection point fires, per-step pool-integrity audits stay clean, survivors

@@ -85,6 +85,19 @@ ADMISSION_POOL_TOKENS = 256  # 16 pages/layer: hot chain pins 8
 QUANT_CONTEXT = 1024
 QUANT_POOL_BUDGET = 32 * 1024 * 1024  # bytes, per engine
 
+# Tiered-offload geometry: a byte budget funding OFFLOAD_FRAMES tier-0
+# frames per layer serves OFFLOAD_BATCH concurrent requests whose combined
+# KV footprint is ~4x the budget — the no-offload engine gets the *same*
+# bytes as its whole pool (max_pool_bytes), the offload engine as tier-0
+# residency (tier0_budget) under a 4x logical pool.  Deterministic (pure
+# page accounting on a pinned workload), so the capacity ratio is gated
+# exactly by check_regression.py; outputs must match bit for bit.
+OFFLOAD_FRAMES = 8
+OFFLOAD_LOGICAL_MULT = 4
+OFFLOAD_BATCH = 4
+OFFLOAD_PROMPT_LEN = 96
+OFFLOAD_DECODE_TOKENS = 16
+
 # Speculative-decoding geometry: 1k context, draft length 8, the n-gram
 # (prompt-lookup) drafter — drafting is model-free, so the speedup comes
 # purely from the multi-token verify pass amortizing per-step work.  The
@@ -584,6 +597,100 @@ def bench_quantized_kv() -> dict[str, dict]:
 
 
 # ----------------------------------------------------------------------
+# tiered KV offload: resident-capacity amplification under one byte budget
+# ----------------------------------------------------------------------
+def bench_offload_capacity() -> dict[str, dict]:
+    """Serving capacity a fixed tier-0 byte budget funds with KV offload on.
+
+    Two engines get the **same byte budget** (see the ``OFFLOAD_*`` geometry
+    constants): the baseline spends it as its entire page pool
+    (``max_pool_bytes``), the tiered engine as tier-0 residency
+    (``tier0_budget``) under a 4x larger logical pool whose cold pages spill
+    to the compressed arena.  Both serve the identical 4-request workload;
+    the gated ``speedup`` is the ratio of **peak live mapped pages** — the
+    KV data each engine could keep in flight per byte of tier-0 memory.
+    **Deterministic** (pure page accounting on a pinned greedy workload, no
+    wall clock), so check_regression.py gates the pinned ratio exactly; the
+    component additionally hard-fails unless both engines' outputs are
+    bit-identical (offload must never show up in the tokens) and the tiered
+    engine actually produced spill/restore traffic (the ratio would
+    otherwise measure nothing).
+    """
+    from repro.kvcache.paged import PagedKVStore
+
+    model = _model(max_seq_len=512)
+    config = model.config
+    page_bytes = PagedKVStore.page_nbytes_for(
+        None,
+        config.n_heads,
+        config.d_head,
+        16,
+        config.np_dtype,
+        config.rope_dims,
+    )
+    budget = OFFLOAD_FRAMES * config.n_layers * page_bytes
+    rng = np.random.default_rng(29)
+    prompts = [
+        rng.integers(0, 256, size=OFFLOAD_PROMPT_LEN).astype(np.int64)
+        for _ in range(OFFLOAD_BATCH)
+    ]
+    gen_config = GenerationConfig(max_new_tokens=OFFLOAD_DECODE_TOKENS)
+
+    def serve(offload: bool) -> tuple[list, int, dict]:
+        if offload:
+            engine = ContinuousBatchingEngine(
+                model,
+                max_batch_size=OFFLOAD_BATCH,
+                max_pool_tokens=OFFLOAD_LOGICAL_MULT * OFFLOAD_FRAMES * 16,
+                tier0_budget=budget,
+                spill_backend="compressed",
+                enable_prefix_sharing=False,
+            )
+        else:
+            engine = ContinuousBatchingEngine(
+                model,
+                max_batch_size=OFFLOAD_BATCH,
+                max_pool_bytes=budget,
+                enable_prefix_sharing=False,
+            )
+        states = [
+            engine.submit(p, gen_config, sampler=GreedySampler()) for p in prompts
+        ]
+        peak_pages = 0
+        while engine.has_work:
+            engine.step()
+            usage = engine.pool_usage()
+            peak_pages = max(peak_pages, usage.get("pages_used", 0))
+        outputs = [(s.tokens, s.result().log_probs) for s in states]
+        return outputs, peak_pages, engine.pool_usage().get("tier", {})
+
+    base_outputs, base_peak, _ = serve(offload=False)
+    tier_outputs, tier_peak, tier = serve(offload=True)
+    if tier_outputs != base_outputs:
+        raise AssertionError(
+            "offload engine outputs diverged from the no-offload baseline"
+        )
+    if not (tier.get("spills", 0) > 0 and tier.get("restores", 0) > 0):
+        raise AssertionError(
+            "offload engine produced no spill traffic — capacity ratio is vacuous"
+        )
+    return {
+        "offload_capacity_ratio": {
+            # Peak live mapped pages per fixed tier-0 byte budget, offload
+            # over baseline — exact page counters, so the CI floor is exact.
+            "speedup": round(tier_peak / max(1, base_peak), 2),
+            "tier0_budget_bytes": int(budget),
+            "peak_pages_no_offload": int(base_peak),
+            "peak_pages_offload": int(tier_peak),
+            "spills": int(tier["spills"]),
+            "restores": int(tier["restores"]),
+            "outputs_identical": True,
+            "rounds": 1,
+        }
+    }
+
+
+# ----------------------------------------------------------------------
 # speculative decoding: draft-then-verify vs vanilla greedy decode
 # ----------------------------------------------------------------------
 def bench_spec_decode(rounds: int) -> dict[str, dict]:
@@ -987,6 +1094,10 @@ def run_suite(smoke: bool = False) -> dict:
     # greedy accuracy probe — identical in smoke and full runs, so the CI
     # gate compares the pinned memory ratios exactly.
     components.update(bench_quantized_kv())
+    # Tiered-offload capacity: deterministic page accounting under one byte
+    # budget, identical in smoke and full runs; the ratio is gated exactly
+    # and the component itself asserts bit-identical outputs.
+    components.update(bench_offload_capacity())
     # Speculative decoding runs the same 1k geometry in smoke and full modes
     # so the CI gate can compare the pinned speedup ratio by name.
     components.update(bench_spec_decode(3 if smoke else 5))

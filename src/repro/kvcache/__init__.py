@@ -12,6 +12,12 @@ leaf-first reclaim for frequency-aware W-TinyLFU admission
 (:class:`FrequencySketch` + :class:`WTinyLFUAdmissionPolicy`, see
 :mod:`repro.kvcache.admission`) so hot shared prompt prefixes survive scan
 bursts of unique prompts.
+
+A ``tier0_pages`` knob enables **tiered KV offload**
+(:mod:`repro.kvcache.offload`): each pool keeps only that many pages
+resident in its tier-0 slabs and spills cold pages byte-exactly to a tier-1
+arena (``spill_backend="compressed"`` or ``"mmap"``), restoring them
+transparently on access — outputs stay bit-identical with offload on or off.
 """
 
 from repro.kvcache.admission import (
@@ -33,6 +39,15 @@ from repro.kvcache.paged import (
     PrefixRegistry,
     chunk_digest,
     resolve_pool_class,
+)
+from repro.kvcache.offload import (
+    SPILL_BACKENDS,
+    CompressedSpillArena,
+    MmapSpillArena,
+    TieredBlockPool,
+    TieredQuantizedBlockPool,
+    resolve_spill_arena,
+    resolve_tiered_pool_class,
 )
 from repro.kvcache.quant import QuantizedBlockPool
 from repro.kvcache.stats import CacheStats
@@ -56,7 +71,14 @@ __all__ = [
     "PrefixMatch",
     "PrefixRegistry",
     "QuantizedBlockPool",
+    "SPILL_BACKENDS",
+    "CompressedSpillArena",
+    "MmapSpillArena",
+    "TieredBlockPool",
+    "TieredQuantizedBlockPool",
     "chunk_digest",
     "resolve_pool_class",
+    "resolve_spill_arena",
+    "resolve_tiered_pool_class",
     "DEFAULT_PAGE_SIZE",
 ]

@@ -322,7 +322,15 @@ class BatchedLayerKVCache:
         values = self._ws[1][:n_active, :, :max_len]
         positions = self._ws[2][:n_active, :, :max_len]
         for row in range(n_active):
-            pool.fill_row(self.tables[row], keys[row], values[row], positions[row], rotated)
+            try:
+                pool.fill_row(
+                    self.tables[row], keys[row], values[row], positions[row], rotated
+                )
+            except Exception as exc:
+                # Read-path faults (a tiered pool's spill_io restore) must be
+                # row-attributable so the engine can quarantine the row.
+                tag_fault_row(exc, row)
+                raise
         return keys, values, positions, lengths, max_len
 
 
@@ -400,6 +408,14 @@ class BatchedCacheManager:
         (default, byte-exact historical leaf-first reclaim) or
         ``"wtinylfu"`` (frequency-aware W-TinyLFU admission, see
         :mod:`repro.kvcache.admission`).
+    tier0_pages:
+        When set, enables tiered KV offload (:mod:`repro.kvcache.offload`):
+        each layer pool keeps only this many pages resident in tier-0 and
+        spills cold pages byte-exactly to a ``spill_backend`` arena
+        (``"compressed"`` or ``"mmap"``), restoring them on access.  The
+        registry's W-TinyLFU segment ranking (when ``admission_policy`` is
+        ``"wtinylfu"``) drives spill-victim selection so hot shared-prefix
+        pages stay resident.
     """
 
     def __init__(
@@ -415,6 +431,8 @@ class BatchedCacheManager:
         max_pool_tokens: int | None = None,
         kv_dtype: str | None = None,
         admission_policy: str = "lru",
+        tier0_pages: int | None = None,
+        spill_backend: str | None = None,
     ):
         if positional_mode not in ("original", "new"):
             raise ValueError(f"unknown positional mode {positional_mode!r}")
@@ -443,8 +461,16 @@ class BatchedCacheManager:
             growable=max_pool_tokens is None,
             kv_dtype=kv_dtype,
             admission_policy=admission_policy,
+            tier0_pages=tier0_pages,
+            spill_backend=spill_backend,
         )
         self.registry = PrefixRegistry(self.store)
+        if tier0_pages is not None:
+            # Victim selection reuses the registry's admission ranking:
+            # W-TinyLFU-protected prefix pages spill last (pure pool LRU
+            # under the default "lru" policy, where ranks are all zero).
+            for layer, pool in enumerate(self.store.pools):
+                pool.spill_ranker = self.registry.spill_ranker(layer)
         self.caches = [
             BatchedLayerKVCache(
                 max_batch, n_heads, d_head, pool=self.store.pools[layer]
@@ -934,3 +960,21 @@ class BatchedCacheManager:
         if self.registry.admission_policy != "lru":
             usage["admission"] = self.registry.telemetry()
         return usage
+
+    def prefetch_decode(self) -> int:
+        """Bulk-restore the spilled pages of every active row before a decode
+        step — one :meth:`repro.kvcache.offload._TieredMixin.restore_pages`
+        call per layer, so the step's reads hit resident frames instead of
+        issuing one restore per page access.  No-op (returns 0) on
+        single-tier pools."""
+        restored = 0
+        for cache in self.caches:
+            restore = getattr(cache.pool, "restore_pages", None)
+            if restore is None:
+                return 0
+            pages: list[int] = []
+            for table in cache.tables[: self.n_active]:
+                pages.extend(table.pages)
+            if pages:
+                restored += restore(pages)
+        return restored

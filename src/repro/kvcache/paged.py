@@ -174,7 +174,7 @@ class BlockPool:
         #: raises to simulate an allocation failure before any state mutates.
         self.fault_hook: Callable[[], None] | None = None
 
-        n_slots = n_pages * self.page_size
+        n_slots = self._slab_pages(n_pages) * self.page_size
         storage = self._storage_dtype()
         # np.zeros (not empty): padded/stale slots must stay benign — the
         # float32 serving path may touch them before masking.
@@ -211,6 +211,19 @@ class BlockPool:
     def _copy_page_state(self, src_page: int, dst_page: int) -> None:
         """Hook: copy per-page bookkeeping during copy-on-write (no-op here;
         the quantized pool copies the page's quantization parameters)."""
+
+    def _slab_pages(self, n_pages: int) -> int:
+        """Hook: physical pages the slabs are sized for (identity here; the
+        tiered pools of :mod:`repro.kvcache.offload` cap the slabs at their
+        tier-0 frame count and spill the rest)."""
+        return n_pages
+
+    def _page_base(self, page: int) -> int:
+        """Hook: first slab slot backing logical ``page`` (plain page
+        arithmetic here).  Every slab access funnels through this so the
+        tiered pools can map logical pages onto resident tier-0 frames,
+        restoring spilled pages on demand."""
+        return page * self.page_size
 
     # ------------------------------------------------------------------
     # geometry / accounting
@@ -529,7 +542,7 @@ class BlockPool:
         ps = self.page_size
         if self.is_contiguous(table):
             # One slice write per slab — the common case (ascending page run).
-            base = table.pages[0] * ps + start if table.pages else 0
+            base = self._page_base(table.pages[0]) + start if table.pages else 0
             for slab, data in array_by_slab:
                 if slab is None or data is None:
                     continue
@@ -545,7 +558,7 @@ class BlockPool:
                 page = table.pages[slot // ps]
                 within = slot % ps
                 chunk = min(ps - within, span - done)
-                base = page * ps + within
+                base = self._page_base(page) + within
                 slab[:, base : base + chunk] = data[:, done : done + chunk]
                 done += chunk
 
@@ -614,7 +627,7 @@ class BlockPool:
             return
         (fresh,) = self.alloc(1)
         ps = self.page_size
-        src, dst = page * ps, fresh * ps
+        src, dst = self._page_base(page), self._page_base(fresh)
         for slab in (self._k, self._v, self._pos, self._k_rot):
             if slab is not None:
                 slab[:, dst : dst + ps] = slab[:, src : src + ps]
@@ -647,7 +660,7 @@ class BlockPool:
         else:
             self._copy_on_write(table, end // ps)
         page = table.pages[end // ps]
-        return page * ps + end % ps
+        return self._page_base(page) + end % ps
 
     def append_rows(
         self,
@@ -729,7 +742,7 @@ class BlockPool:
 
         head_offsets = (np.arange(self.n_heads) * self.n_slots)[:, None]
         if self.is_contiguous(table):
-            base = table.pages[0] * ps + table.offset if table.pages else 0
+            base = self._page_base(table.pages[0]) + table.offset if table.pages else 0
             gidx = (head_offsets + base + indices).reshape(-1)
         else:
             slots = self.slot_map(table)
@@ -813,7 +826,7 @@ class BlockPool:
         if table.length == 0:
             return slab[:, :0]
         if self.is_contiguous(table):
-            start = table.pages[0] * self.page_size + table.offset
+            start = self._page_base(table.pages[0]) + table.offset
             return slab[:, start : start + table.length]
         # Fragmented table: assemble from per-run slice copies.  The result
         # must be C-contiguous — NumPy's mixed slice+fancy indexing would
@@ -904,6 +917,12 @@ class PagedKVStore:
     (:class:`~repro.kvcache.quant.QuantizedBlockPool`) that shrink KV bytes
     per token roughly 4x at float32 (8x at float64) under an accuracy
     contract documented in ``docs/quantization.md``.
+
+    ``tier0_pages`` enables **tiered KV offload** (see
+    :mod:`repro.kvcache.offload`): each layer pool keeps only that many
+    pages resident in its tier-0 slabs and spills the cold remainder —
+    byte-exactly — to a tier-1 arena selected by ``spill_backend``
+    (``"compressed"`` or ``"mmap"``).
     """
 
     def __init__(
@@ -919,6 +938,8 @@ class PagedKVStore:
         growable: bool = True,
         kv_dtype: str | None = None,
         admission_policy: str = "lru",
+        tier0_pages: int | None = None,
+        spill_backend: str | None = None,
     ):
         self.n_layers = n_layers
         self.page_size = int(page_size)
@@ -934,7 +955,25 @@ class PagedKVStore:
         #: byte-exact leaf-first reclaim; ``"wtinylfu"`` enables
         #: frequency-aware admission — see :mod:`repro.kvcache.admission`).
         self.admission_policy = admission_policy
+        if spill_backend is not None and tier0_pages is None:
+            raise ValueError(
+                "spill_backend requires tier0_pages — KV offload is enabled "
+                "by the tier-0 page budget"
+            )
+        #: Tier-0 frames per layer pool when KV offload is enabled (``None``
+        #: keeps every page resident — the historical single-tier layout).
+        self.tier0_pages = int(tier0_pages) if tier0_pages is not None else None
+        self.spill_backend = spill_backend
         pool_cls = resolve_pool_class(kv_dtype)
+        pool_kwargs: dict = {}
+        if self.tier0_pages is not None:
+            from repro.kvcache.offload import resolve_tiered_pool_class
+
+            pool_cls = resolve_tiered_pool_class(pool_cls)
+            pool_kwargs = {
+                "tier0_pages": self.tier0_pages,
+                "spill_backend": spill_backend,
+            }
         self.pools = [
             pool_cls(
                 n_heads,
@@ -945,6 +984,7 @@ class PagedKVStore:
                 rope_dims=rope_dims,
                 rope_table=rope_table,
                 growable=growable,
+                **pool_kwargs,
             )
             for _ in range(n_layers)
         ]
@@ -1004,6 +1044,13 @@ class PagedKVStore:
         so this is the admission-relevant number)."""
         return min(pool.free_pages for pool in self.pools)
 
+    def tier0_frames(self) -> int | None:
+        """Resident tier-0 frames per layer pool under KV offload, ``None``
+        when offload is disabled — the residency budget
+        :class:`~repro.serving.scheduler.PagedScheduler` admits rows
+        against (admission counts only tier-0 residency)."""
+        return self.tier0_pages
+
     def usage(self) -> dict:
         """Aggregate pool utilization (for demos / telemetry).
 
@@ -1011,11 +1058,15 @@ class PagedKVStore:
         resident size of every slab (plus quantization state), and
         ``bytes_used`` the share covered by mapped pages — the number that
         makes full-precision and int8 pools comparable under one budget.
+        Under KV offload a ``tier`` sub-dict aggregates each pool's
+        resident/spilled page counts and spill/restore traffic (see
+        :meth:`repro.kvcache.offload._TieredMixin.tier_usage`); the
+        single-tier report stays byte-identical to the historical schema.
         """
         page_bytes = sum(pool.page_nbytes() for pool in self.pools) / max(
             self.n_layers, 1
         )
-        return {
+        out = {
             "pages_total": self.total_pages,
             "pages_used": self.used_pages,
             "pages_free": self.free_pages,
@@ -1026,6 +1077,14 @@ class PagedKVStore:
             ),
             "bytes_per_page": int(page_bytes),
         }
+        if self.tier0_pages is not None:
+            tier: dict[str, int] = {}
+            for pool in self.pools:
+                for key, value in pool.tier_usage().items():
+                    tier[key] = tier.get(key, 0) + int(value)
+            tier["tier0_frames"] = self.tier0_pages  # per layer, not summed
+            out["tier"] = tier
+        return out
 
     def nbytes(self) -> int:
         """Resident bytes of all pool slabs — keys, values, rotated keys and
@@ -1129,6 +1188,13 @@ class PrefixRegistry:
         self.store = store
         self.page_size = store.page_size
         self._chunks: dict[bytes, _PrefixChunk] = {}
+        #: Per-layer reverse map page id -> owning chunk key (registration is
+        #: 1:1 per layer: each chunk pins exactly one page in every layer and
+        #: identical prefixes resolve to the *same* chunk).  Backs the tiered
+        #: pools' frequency-aware spill ranking (:meth:`page_heat`).
+        self._page_owner: list[dict[int, bytes]] = [
+            {} for _ in range(store.n_layers)
+        ]
         self._clock = 0
         if admission_policy is None:
             admission_policy = getattr(store, "admission_policy", "lru")
@@ -1212,6 +1278,7 @@ class PrefixRegistry:
                 pages = [tables[layer].pages[i] for layer in range(self.store.n_layers)]
                 for layer, page in enumerate(pages):
                     self.store.pools[layer].retain([page])
+                    self._page_owner[layer][page] = key
                 chunk = _PrefixChunk(key, parent, pages)
                 self._chunks[key] = chunk
                 if parent is not None:
@@ -1303,11 +1370,41 @@ class PrefixRegistry:
             )
         for layer, page in enumerate(chunk.pages_per_layer):
             self.store.pools[layer].release([page])
+            self._page_owner[layer].pop(page, None)
         if chunk.parent is not None and chunk.parent in self._chunks:
             self._chunks[chunk.parent].children.discard(chunk.key)
         del self._chunks[chunk.key]
         if self._admission is not None:
             self._admission.on_drop(chunk.key)
+
+    #: Spill-ranking heat by W-TinyLFU segment: protected chunks are the
+    #: proven-hot working set, probation next, window (one-shot candidates)
+    #: barely above unregistered pages.
+    _SEGMENT_HEAT = {"window": 1, "probation": 2, "protected": 3}
+
+    def page_heat(self, layer: int, page: int) -> int:
+        """Spill-priority score of ``page`` in ``layer`` (higher = keep
+        resident longer).
+
+        Reuses the admission ranking of :mod:`repro.kvcache.admission`: under
+        ``"wtinylfu"`` a page pinned by a protected-segment chunk outranks a
+        probation chunk's page, which outranks a window chunk's page.  Under
+        the default ``"lru"`` policy every page scores 0 and the tiered
+        pools fall back to pure pool-level LRU — placement never affects
+        decoded values (spill/restore is byte-exact), only transfer counts.
+        """
+        if self._admission is None:
+            return 0
+        key = self._page_owner[layer].get(page)
+        if key is None:
+            return 0
+        segment = self._admission.segment_of(key)
+        return self._SEGMENT_HEAT.get(segment, 0) if segment is not None else 0
+
+    def spill_ranker(self, layer: int) -> Callable[[int], int]:
+        """Victim-ranking callback for ``layer``'s tiered pool (installable
+        as :attr:`repro.kvcache.offload._TieredMixin.spill_ranker`)."""
+        return lambda page: self.page_heat(layer, page)
 
     def pinned_pages(self) -> list[list[int]]:
         """Per-layer page ids the registry currently pins (one per chunk).
@@ -1333,6 +1430,9 @@ class PrefixRegistry:
         registered chunk set exactly (every segment entry pins refcounted
         pages, every pinned chunk sits in exactly one segment; see
         :meth:`repro.kvcache.admission.WTinyLFUAdmissionPolicy.audit`).
+        Over tiered pools (KV offload) every pinned page must additionally
+        be in a definite tier — resident on a tier-0 frame XOR spilled to
+        the arena — never lost in between.
         Returns violation strings (empty = clean).
         """
         violations: list[str] = []
@@ -1354,6 +1454,13 @@ class PrefixRegistry:
                     violations.append(
                         f"registry: chunk {key.hex()} lists reclaimed child "
                         f"{child.hex()}"
+                    )
+            for layer, page in enumerate(chunk.pages_per_layer):
+                tier_state = getattr(self.store.pools[layer], "tier_page_state", None)
+                if tier_state is not None and tier_state(page) == "free":
+                    violations.append(
+                        f"registry: layer {layer} chunk {key.hex()} pins page "
+                        f"{page} that is neither resident nor spilled"
                     )
         if self._admission is not None:
             violations.extend(self._admission.audit(self._chunks.keys()))

@@ -134,6 +134,15 @@ class QuantizedBlockPool(BlockPool):
         """The int8 slab a quantized-stream name refers to."""
         return {"k": self._k, "v": self._v, "kr": self._k_rot}[name]
 
+    def _page_of_slot(self, slots):
+        """Hook: logical page id(s) owning flat slab slot(s) — the inverse of
+        :meth:`~repro.kvcache.paged.BlockPool._page_base`.  Plain page
+        arithmetic here; the tiered pool maps slab *frames* back to logical
+        pages, because quantization parameters are indexed by logical page
+        while the slabs are indexed by frame.  Accepts a scalar or an int64
+        array (vectorized compaction reads)."""
+        return slots // self.page_size
+
     def _reset_page_params(self, pages: Sequence[int]) -> None:
         """Mark ``pages`` as empty: unit scale, zero offset, empty range."""
         if not len(pages):
@@ -179,7 +188,7 @@ class QuantizedBlockPool(BlockPool):
         new_lo = np.minimum(lo[page], dmin)
         new_hi = np.maximum(hi[page], dmax)
         ps = self.page_size
-        base = page * ps
+        base = self._page_base(page)
         if (new_lo < lo[page]).any() or (new_hi > hi[page]).any():
             new_scale, new_zero = self._params_from(new_lo, new_hi)
             if np.isfinite(lo[page]).any():
@@ -233,7 +242,7 @@ class QuantizedBlockPool(BlockPool):
     def _store_token(self, slot: int, k: np.ndarray, v: np.ndarray, position: int) -> None:
         """Quantized single-token write into a resolved pool slot."""
         ps = self.page_size
-        page, within = slot // ps, slot % ps
+        page, within = self._page_of_slot(slot), slot % ps
         self._pos[:, slot] = position
         k = np.asarray(k)
         self._quantize_into("k", page, within, k[:, None, :])
@@ -338,7 +347,7 @@ class QuantizedBlockPool(BlockPool):
         rotated keys) with each element's own page/head parameters."""
         data = super()._take_all(gidx, k)
         heads = gidx // self.n_slots
-        pages = (gidx % self.n_slots) // self.page_size
+        pages = self._page_of_slot(gidx % self.n_slots)
         for i, name in ((0, "k"), (1, "v"), (3, "kr")):
             if i >= len(data) or data[i] is None or name not in self._qnames:
                 continue
@@ -381,9 +390,8 @@ class QuantizedBlockPool(BlockPool):
         slab = self._qslab(name)
         scale, zero = self._qscale[name], self._qzero[name]
         out = np.empty((self.n_heads, table.length, self.d_head), dtype=self.dtype)
-        ps = self.page_size
         for logical, page, within, chunk in self._page_chunks(table):
-            base = page * ps + within
+            base = self._page_base(page) + within
             out[:, logical : logical + chunk] = self._decode(
                 slab[:, base : base + chunk], scale[page], zero[page]
             )
@@ -417,9 +425,8 @@ class QuantizedBlockPool(BlockPool):
             return
         kname = "kr" if rotated else "k"
         kslab = self._qslab(kname)
-        ps = self.page_size
         for logical, page, within, chunk in self._page_chunks(table):
-            base = page * ps + within
+            base = self._page_base(page) + within
             dst = slice(logical, logical + chunk)
             out_k[:, dst] = self._decode(
                 kslab[:, base : base + chunk],

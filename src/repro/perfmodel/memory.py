@@ -13,6 +13,14 @@ eliminated entirely.  The paged formulas (:meth:`MemoryModel.kv_page_bytes`,
 ``(scale, zero)`` pairs (:mod:`repro.kvcache.quant`), which is how the same
 HBM budget funds several times more concurrent sequences.
 
+A **tiered** section models KV offload (:mod:`repro.kvcache.offload`):
+:meth:`MemoryModel.tier0_frames` converts a tier-0 byte budget into page
+frames the way the serving engine does, :meth:`MemoryModel.
+tiered_capacity_ratio` and :meth:`MemoryModel.tiered_max_concurrency` give
+the capacity amplification and frame-bound concurrency when cold pages
+spill to a tier-1 arena, and :meth:`MemoryModel.spill_transfer_seconds`
+prices the spill/restore traffic a decode step pays across the tier link.
+
 Two distinct byte conventions coexist here, on purpose:
 
 * **Analytic deployment projections** use ``PerfModelSpec.dtype_bytes``
@@ -165,6 +173,91 @@ class MemoryModel:
         if budget <= 0 or per_seq <= 0:
             return 0
         return int(budget // per_seq)
+
+    # ------------------------------------------------------------------
+    # tiered offload (repro.kvcache.offload)
+    # ------------------------------------------------------------------
+    def tier0_frames(
+        self,
+        tier0_budget_bytes: float,
+        page_size: int = 16,
+        kv_dtype: str | None = None,
+    ) -> int:
+        """Tier-0 page frames (per layer) a byte budget funds.
+
+        Mirrors the engine's ``tier0_budget`` conversion: the budget buys
+        whole cross-layer pages, with a floor of two frames per layer (the
+        minimum for copy-on-write, which transiently holds a source and a
+        destination page resident).
+        """
+        if tier0_budget_bytes <= 0:
+            raise ValueError("tier0_budget_bytes must be positive")
+        frames = int(tier0_budget_bytes // self.kv_page_bytes(page_size, kv_dtype))
+        return max(frames, 2)
+
+    def tiered_capacity_ratio(
+        self,
+        seq_len: int,
+        page_size: int = 16,
+        resident_pages_per_seq: int = 1,
+    ) -> float:
+        """Capacity amplification of tiered offload at fixed tier-0 bytes.
+
+        Without offload a sequence of resident length ``seq_len`` pins all
+        of its pages in tier 0; with offload only its hot working set
+        (``resident_pages_per_seq`` — at minimum the append page) must be
+        resident while the cold tail lives in the tier-1 arena.  The ratio
+        of the two is how many times more cacheable tokens the same tier-0
+        budget funds — the analytic counterpart of the pinned
+        ``offload_capacity_ratio`` benchmark (gated at >= 2x).
+        """
+        if resident_pages_per_seq <= 0:
+            raise ValueError("resident_pages_per_seq must be positive")
+        return self.kv_pages(seq_len, page_size) / resident_pages_per_seq
+
+    def tiered_max_concurrency(
+        self,
+        tier0_budget_bytes: float,
+        page_size: int = 16,
+        resident_pages_per_seq: int = 1,
+        watermark: float = 0.1,
+        kv_dtype: str | None = None,
+    ) -> int:
+        """Concurrent sequences a tier-0 frame budget can keep decoding.
+
+        Unlike :meth:`paged_max_concurrency`, residency no longer scales
+        with ``seq_len`` — each running sequence only needs its hot
+        ``resident_pages_per_seq`` frames while spilled pages wait in the
+        arena.  A watermark fraction of the frames stays free as restore
+        headroom, matching the scheduler's frame-aware admission rule.
+        """
+        frames = self.tier0_frames(tier0_budget_bytes, page_size, kv_dtype)
+        usable = frames - max(int(watermark * frames), 1)
+        if resident_pages_per_seq <= 0:
+            raise ValueError("resident_pages_per_seq must be positive")
+        return max(usable // resident_pages_per_seq, 0)
+
+    def spill_transfer_seconds(
+        self,
+        n_pages: int,
+        transfer_bandwidth_bytes: float,
+        page_size: int = 16,
+        kv_dtype: str | None = None,
+    ) -> float:
+        """Time to move ``n_pages`` cross-layer pages across the tier link.
+
+        Spill and restore traffic are symmetric byte-for-byte (transfers
+        are byte-exact in both directions), so one formula covers both; a
+        decode step that restores ``r`` pages and spills ``s`` victims pays
+        ``spill_transfer_seconds(r + s, bw)`` of transfer time, which is
+        how the engine's ``pool_usage()`` spill/restore byte counters
+        convert into a latency overhead.
+        """
+        if transfer_bandwidth_bytes <= 0:
+            raise ValueError("transfer_bandwidth_bytes must be positive")
+        if n_pages < 0:
+            raise ValueError("n_pages must be non-negative")
+        return n_pages * self.kv_page_bytes(page_size, kv_dtype) / transfer_bandwidth_bytes
 
     @staticmethod
     def measured_kv_bytes(caches: Iterable, dtype_bytes: int | None = None) -> int:

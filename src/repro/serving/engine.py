@@ -219,6 +219,23 @@ class ContinuousBatchingEngine:
         through scan bursts.  Outputs stay bit-identical to solo decoding
         under both values; only which prefixes stay resident (and hence
         prefill savings) differs.
+    tier0_budget:
+        When set, enables **tiered KV offload** (:mod:`repro.kvcache.offload`):
+        a tier-0 **byte** budget per engine, converted to resident frames
+        per layer pool with the same per-page footprint ``max_pool_bytes``
+        uses; cold pages beyond it spill byte-exactly to a tier-1 arena and
+        are restored on access, with the engine bulk-prefetching each decode
+        step's pages (one restore call per layer) before the step runs.
+        Admission counts only tier-0 residency (running rows are capped
+        against the frame budget with the scheduler's watermark headroom).
+        ``max_pool_tokens``/``max_pool_bytes`` still bound total *logical*
+        capacity — with offload on, that capacity no longer needs to be
+        resident.  Outputs are bit-identical with offload on or off, for
+        every dtype, policy and scheduler interleaving.
+    spill_backend:
+        Tier-1 arena of the offload layer: ``"compressed"`` (default, an
+        in-memory zlib arena) or ``"mmap"`` (records in a memory-mapped
+        temporary file).  Requires ``tier0_budget``.
     speculation:
         When set, running requests decode through the draft-then-verify loop
         (:mod:`repro.speculative`) instead of one token per step: each engine
@@ -232,8 +249,9 @@ class ContinuousBatchingEngine:
     faults:
         Optional :class:`~repro.serving.faults.FaultInjector` whose seeded
         schedule fires :class:`~repro.serving.faults.InjectedFault` at the
-        page-allocation, prefill, decode, verify and draft injection points.
-        Installing one turns fault tolerance on (see ``fault_tolerant``).
+        page-allocation, prefill, decode, verify, draft and spill-transfer
+        (``spill_io``, under KV offload) injection points.  Installing one
+        turns fault tolerance on (see ``fault_tolerant``).
     fault_tolerant:
         Force the quarantine machinery on (``True``) or off (``False``);
         ``None`` (default) enables it exactly when ``faults`` is given.
@@ -278,6 +296,8 @@ class ContinuousBatchingEngine:
         kv_dtype: str | None = None,
         enable_prefix_sharing: bool = True,
         admission_policy: str = "lru",
+        tier0_budget: int | None = None,
+        spill_backend: str | None = None,
         speculation: SpeculationConfig | None = None,
         faults: FaultInjector | None = None,
         fault_tolerant: bool | None = None,
@@ -363,6 +383,33 @@ class ContinuousBatchingEngine:
             max_pool_tokens = n_pages * self.page_size
         self.max_pool_bytes = max_pool_bytes
         self.max_pool_tokens = max_pool_tokens
+        if spill_backend is not None and tier0_budget is None:
+            raise ValueError(
+                "spill_backend requires tier0_budget — KV offload is enabled "
+                "by the tier-0 byte budget"
+            )
+        if tier0_budget is not None:
+            if tier0_budget <= 0:
+                raise ValueError("tier0_budget must be positive (or None)")
+            # The tier-0 byte budget converts to resident frames per layer
+            # with the same per-page footprint the pool-byte budget uses;
+            # at least 2 frames (copy-on-write holds two pages at once).
+            config = model.config
+            page_bytes = PagedKVStore.page_nbytes_for(
+                kv_dtype,
+                config.n_heads,
+                config.d_head,
+                self.page_size,
+                config.np_dtype,
+                config.rope_dims if config.positional == "rope" else 0,
+            )
+            self.tier0_pages: int | None = max(
+                int(tier0_budget // (config.n_layers * page_bytes)), 2
+            )
+        else:
+            self.tier0_pages = None
+        self.tier0_budget = tier0_budget
+        self.spill_backend = spill_backend
         self.enable_prefix_sharing = enable_prefix_sharing
         if admission_policy not in ADMISSION_POLICIES:
             raise ValueError(
@@ -1526,6 +1573,27 @@ class ContinuousBatchingEngine:
         while len(self._states) > 1 and self._manager.append_pages_shortfall() > 0:
             self._preempt_victim()
 
+    def _prefetch_decode(self) -> None:
+        """Batch-restore spilled pages of scheduled rows before a decode step.
+
+        With tiered offload enabled (``tier0_budget``), the pages each running
+        row will read this step are restored in one bulk pass per layer
+        instead of demand-faulting one page at a time inside the forward —
+        same bytes, fewer arena round-trips.  No-op without offload.
+
+        Prefetch is *best-effort*: a transfer fault here mutates nothing
+        (``spill_io`` fires before any pool or arena state changes), so
+        under fault tolerance it degrades to demand restore inside the
+        decode step rather than failing the batch.
+        """
+        if self.tier0_pages is None or self._manager is None:
+            return
+        try:
+            self._manager.prefetch_decode()
+        except Exception:
+            if not self.fault_tolerant:
+                raise
+
     def _decode(self) -> None:
         """One batched decode step + per-request sampling of the next token.
 
@@ -1542,12 +1610,14 @@ class ContinuousBatchingEngine:
         if not self.fault_tolerant:
             self._ensure_decode_capacity()
             if self._states:
+                self._prefetch_decode()
                 self._decode_step_once()
             return
         while self._states:
             self._ensure_decode_capacity()
             if not self._states:
                 return
+            self._prefetch_decode()
             snapshots = [
                 self._manager.snapshot_row(row) for row in range(len(self._states))
             ]
@@ -1606,6 +1676,8 @@ class ContinuousBatchingEngine:
             max_pool_tokens=self.max_pool_tokens,
             kv_dtype=self.kv_dtype,
             admission_policy=self.admission_policy,
+            tier0_pages=self.tier0_pages,
+            spill_backend=self.spill_backend,
         )
         self._layer_views = self._manager.layer_views()
         if self.faults is not None:
@@ -1613,8 +1685,14 @@ class ContinuousBatchingEngine:
             # pools: every alloc (join, decode append, COW, verify block)
             # consults the injector before mutating pool state.
             hook = self.faults.hook("page_alloc")
+            spill_hook = self.faults.hook("spill_io")
             for pool in self._manager.store.pools:
                 pool.fault_hook = hook
+                if hasattr(pool, "spill_hook"):
+                    # Tiered pools additionally consult the injector before
+                    # every spill/restore transfer (pre-mutation, so a fired
+                    # fault leaves pool and arena state untouched).
+                    pool.spill_hook = spill_hook
 
     # ------------------------------------------------------------------
     # auditing & telemetry
@@ -1719,6 +1797,8 @@ class BatchedGenerator:
         kv_dtype: str | None = None,
         enable_prefix_sharing: bool = True,
         admission_policy: str = "lru",
+        tier0_budget: int | None = None,
+        spill_backend: str | None = None,
         speculation: SpeculationConfig | None = None,
     ):
         self.model = model
@@ -1732,6 +1812,8 @@ class BatchedGenerator:
         self.kv_dtype = kv_dtype
         self.enable_prefix_sharing = enable_prefix_sharing
         self.admission_policy = admission_policy
+        self.tier0_budget = tier0_budget
+        self.spill_backend = spill_backend
         self.speculation = speculation
 
     def _engine(self) -> ContinuousBatchingEngine:
@@ -1747,6 +1829,8 @@ class BatchedGenerator:
             kv_dtype=self.kv_dtype,
             enable_prefix_sharing=self.enable_prefix_sharing,
             admission_policy=self.admission_policy,
+            tier0_budget=self.tier0_budget,
+            spill_backend=self.spill_backend,
             speculation=self.speculation,
         )
 

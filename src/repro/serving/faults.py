@@ -7,8 +7,9 @@ module provides the two pieces the engine's robustness layer is built on:
 :class:`FaultInjector`
     A seeded, deterministic fault source with named **injection points**
     (:data:`INJECTION_POINTS`): page allocation inside the block pools,
-    the prefill and batched-decode steps, the speculative verify pass and
-    the drafter round.  Whether occurrence ``i`` of point ``p`` fires is a
+    the prefill and batched-decode steps, the speculative verify pass, the
+    drafter round and the tiered pools' spill/restore transfers
+    (``spill_io``).  Whether occurrence ``i`` of point ``p`` fires is a
     pure function of ``(seed, p, i)`` — independent of draw order across
     points — so the same workload with the same injector seed faults at
     exactly the same places, every time.  A completed run's
@@ -46,9 +47,14 @@ __all__ = [
 #: Injection points of the serving stack, in engine-flow order: page
 #: allocation (fires inside ``BlockPool.alloc`` — prefill joins, decode
 #: appends, copy-on-write, drafter growth), the per-request prefill step, the
-#: per-row batched decode step, the speculative verify pass and the drafter
-#: round.
-INJECTION_POINTS = ("page_alloc", "prefill", "decode", "verify", "draft")
+#: per-row batched decode step, the speculative verify pass, the drafter
+#: round, and spill/restore transfers of the tiered KV-offload pools
+#: (``spill_io`` fires inside ``_TieredMixin._spill_page`` /
+#: ``_restore_page`` **before** any state mutates, so an injected transfer
+#: fault leaves pool and arena unchanged).  ``spill_io`` is appended last:
+#: :meth:`FaultInjector.should_fire` keys its RNG on each point's index in
+#: this tuple, so appending preserves every existing chaos schedule.
+INJECTION_POINTS = ("page_alloc", "prefill", "decode", "verify", "draft", "spill_io")
 
 
 class InjectedFault(RuntimeError):

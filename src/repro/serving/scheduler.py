@@ -259,6 +259,18 @@ class PagedScheduler(FCFSScheduler):
                 break
             if not self._fits(head, tokens_in_flight):
                 break
+            if store is not None:
+                tier0 = store.tier0_frames()
+                if tier0 is not None:
+                    # Tiered offload: admission is capped by tier-0 *frames*,
+                    # not logical pages — every running row needs at least
+                    # its append page resident each decode step, so bound
+                    # the row count by the frame budget (with watermark
+                    # headroom).  Applies even to growable stores: growth
+                    # buys spillable capacity, never residency.
+                    frame_headroom = max(int(self.watermark * tier0), 1)
+                    if n_running + len(admitted) + 1 + frame_headroom > tier0:
+                        break
             if store is not None and not store.growable:
                 # Admit against actual free pages in the tightest layer pool:
                 # the prompt (plus one decode slot) must fit above the

@@ -13,6 +13,7 @@ import heapq
 import numpy as np
 import pytest
 
+from repro.kvcache.offload import TieredBlockPool, TieredQuantizedBlockPool
 from repro.kvcache.paged import BlockPool, PageTable, PagedKVStore, PrefixRegistry
 from repro.kvcache.quant import QuantizedBlockPool
 
@@ -132,6 +133,97 @@ class TestQuantizedPoolAudit:
         pool._qzero["k"] = pool._qzero["k"][:-1]  # lost a page's params
         violations = pool.check_invariants()
         assert violations and any("shape" in v for v in violations)
+
+
+class TestTieredPoolAudit:
+    """Tier-state invariants of the offload pools (see ``repro.kvcache.offload``):
+    page resident XOR spilled, mutually-inverse page↔frame maps, a free-frame
+    list that is exactly the unmapped frames, no spill-index leaks and no
+    leaked pins — plus the quantized pool's spill-record parameter cross-check."""
+
+    def _tiered(self, cls=TieredBlockPool, **kwargs):
+        kwargs.setdefault("tier0_pages", 3)
+        kwargs.setdefault("spill_backend", "compressed")
+        return make_pool(cls, **kwargs)
+
+    def _spilled_page(self, pool, table):
+        pages = [p for p in table.pages if p in pool.arena]
+        assert pages, "expected the tight frame budget to have spilled a page"
+        return pages[0]
+
+    def test_clean_under_spill_pressure(self):
+        rng = np.random.default_rng(20)
+        for cls in (TieredBlockPool, TieredQuantizedBlockPool):
+            pool = self._tiered(cls, dtype=np.float64)
+            tables = [seeded_table(pool, 3 * PAGE, rng) for _ in range(2)]
+            assert len(pool.arena) > 0  # 6 pages over 3 frames: cold pages spilled
+            assert pool.check_invariants(owners=tables) == []
+
+    def test_detects_page_resident_and_spilled(self):
+        pool = self._tiered()
+        rng = np.random.default_rng(21)
+        table = seeded_table(pool, 5 * PAGE, rng)
+        resident = next(p for p in table.pages if pool._page_frame[p] >= 0)
+        spilled = self._spilled_page(pool, table)
+        pool.arena.store(resident, pool.arena.load(spilled))  # stray double-home
+        violations = pool.check_invariants(owners=[table])
+        assert any("both resident and spilled" in v for v in violations)
+
+    def test_detects_frame_map_divergence(self):
+        pool = self._tiered()
+        rng = np.random.default_rng(22)
+        table = seeded_table(pool, 2 * PAGE, rng)
+        frame = int(pool._page_frame[table.pages[0]])
+        pool._frame_page[frame] = -1  # forward map no longer inverts
+        violations = pool.check_invariants(owners=[table])
+        assert any("owned by" in v or "free-frame" in v for v in violations)
+
+    def test_detects_free_frame_list_corruption(self):
+        pool = self._tiered()
+        rng = np.random.default_rng(23)
+        table = seeded_table(pool, 2 * PAGE, rng)
+        heapq.heappush(pool._free_frames, int(pool._page_frame[table.pages[0]]))
+        violations = pool.check_invariants(owners=[table])
+        assert any("free-frame list" in v for v in violations)
+
+    def test_detects_spill_index_leak(self):
+        pool = self._tiered()
+        rng = np.random.default_rng(24)
+        table = seeded_table(pool, 5 * PAGE, rng)
+        page = self._spilled_page(pool, table)
+        payload = pool.arena.load(page)
+        pool.release_table(table)  # drops every record…
+        pool.arena.store(page, payload)  # …but one sneaks back in
+        violations = pool.check_invariants()
+        assert any("spill-index leak" in v for v in violations)
+
+    def test_detects_leaked_pin(self):
+        pool = self._tiered()
+        rng = np.random.default_rng(25)
+        table = seeded_table(pool, PAGE, rng)
+        pool._pin([table.pages[0]])
+        violations = pool.check_invariants(owners=[table])
+        assert any("pin(s) leaked" in v for v in violations)
+        pool._unpin([table.pages[0]])
+        assert pool.check_invariants(owners=[table]) == []
+
+    def test_quantized_detects_stale_spilled_params(self):
+        pool = self._tiered(TieredQuantizedBlockPool, dtype=np.float64)
+        rng = np.random.default_rng(26)
+        table = seeded_table(pool, 5 * PAGE, rng)
+        page = self._spilled_page(pool, table)
+        pool._qscale["k"][page] *= 2.0  # live params drift from the record
+        violations = pool.check_invariants(owners=[table])
+        assert any("parameter section diverged" in v for v in violations)
+
+    def test_release_drops_arena_records(self):
+        pool = self._tiered()
+        rng = np.random.default_rng(27)
+        table = seeded_table(pool, 5 * PAGE, rng)
+        assert len(pool.arena) > 0
+        pool.release_table(table)
+        assert len(pool.arena) == 0  # refcount-0 pages leave the spill index
+        assert pool.check_invariants() == []
 
 
 class TestStoreAndRegistryAudit:

@@ -130,7 +130,14 @@ class TestFaultInjector:
             FaultInjector().check("warp_core")
 
     def test_all_injection_points_listed(self):
-        assert INJECTION_POINTS == ("page_alloc", "prefill", "decode", "verify", "draft")
+        assert INJECTION_POINTS == (
+            "page_alloc",
+            "prefill",
+            "decode",
+            "verify",
+            "draft",
+            "spill_io",
+        )
 
 
 # ----------------------------------------------------------------------

@@ -17,8 +17,12 @@ every round that
 * the paged store leaks nothing: once the prefix registry releases its
   pins, every pool page is free with a zero refcount.
 
-Across the whole campaign all five injection points — ``page_alloc``,
-``prefill``, ``decode``, ``verify``, ``draft`` — must actually have fired.
+Across the whole campaign all six injection points — ``page_alloc``,
+``prefill``, ``decode``, ``verify``, ``draft``, ``spill_io`` — must actually
+have fired; the two tiered-offload rounds run with tier-0 budgets tight
+enough that spill/restore traffic is constant, so mid-transfer faults
+exercise the unwind paths (``spill_io`` fires *before* any pool or arena
+state mutates, and survivors must still be bit-exact).
 Any violation exits non-zero with a replayable fault schedule, so a CI
 failure is a one-liner to reproduce locally (see ``docs/robustness.md``).
 """
@@ -50,15 +54,19 @@ MAX_NEW_TOKENS = 8
 PROMPT_LENGTHS = (41, 18, 29, 37)
 FAULT_RATE = 0.03
 
-#: (name, kv_dtype, drafter, max_pool_tokens) — the campaign's four corners:
-#: both KV precisions, speculation on and off, one fixed-size pool config so
-#: preemption unwinds interleave with fault unwinds.
+#: (name, kv_dtype, drafter, max_pool_tokens, tier0_budget, spill_backend) —
+#: the campaign's corners: both KV precisions, speculation on and off, one
+#: fixed-size pool config so preemption unwinds interleave with fault
+#: unwinds, and two tiered-offload rounds whose tight tier-0 budgets keep
+#: spill/restore traffic constant so ``spill_io`` faults land mid-transfer.
 CONFIGS = [
-    ("fp64-vanilla", None, None, None),
-    ("fp64-vanilla-smallpool", None, None, 24 * 16),
-    ("fp64-spec-window", None, "window", None),
-    ("int8-vanilla", "int8", None, None),
-    ("int8-spec-ngram", "int8", "ngram", None),
+    ("fp64-vanilla", None, None, None, None, None),
+    ("fp64-vanilla-smallpool", None, None, 24 * 16, None, None),
+    ("fp64-spec-window", None, "window", None, None, None),
+    ("int8-vanilla", "int8", None, None, None, None),
+    ("int8-spec-ngram", "int8", "ngram", None, None, None),
+    ("fp64-offload-compressed", None, None, 24 * 16, 160_000, "compressed"),
+    ("int8-offload-mmap", "int8", None, 24 * 16, 24_000, "mmap"),
 ]
 
 
@@ -84,8 +92,8 @@ def build_prompts() -> list[np.ndarray]:
     return [rng.integers(0, VOCAB, size=n).astype(np.int64) for n in PROMPT_LENGTHS]
 
 
-def build_engine(model, kv_dtype, drafter, max_pool_tokens, faults):
-    """Assemble one engine for a (precision, speculation, pool) corner."""
+def build_engine(model, kv_dtype, drafter, max_pool_tokens, tier0_budget, spill_backend, faults):
+    """Assemble one engine for a (precision, speculation, pool, tier) corner."""
     speculation = None if drafter is None else SpeculationConfig(k=3, drafter=drafter)
     policy_factory = None
     if drafter is None:
@@ -97,6 +105,8 @@ def build_engine(model, kv_dtype, drafter, max_pool_tokens, faults):
         kv_dtype=kv_dtype,
         enable_prefix_sharing=False,
         max_pool_tokens=max_pool_tokens,
+        tier0_budget=tier0_budget,
+        spill_backend=spill_backend,
         speculation=speculation,
         faults=faults,
         fault_tolerant=True,
@@ -107,8 +117,10 @@ def build_engine(model, kv_dtype, drafter, max_pool_tokens, faults):
 
 def run_round(model, prompts, config, faults, audit_every_step):
     """Run one workload round; return ``(engine, states, steps, violations)``."""
-    name, kv_dtype, drafter, max_pool_tokens = config
-    engine = build_engine(model, kv_dtype, drafter, max_pool_tokens, faults)
+    name, kv_dtype, drafter, max_pool_tokens, tier0_budget, spill_backend = config
+    engine = build_engine(
+        model, kv_dtype, drafter, max_pool_tokens, tier0_budget, spill_backend, faults
+    )
     gen = GenerationConfig(max_new_tokens=MAX_NEW_TOKENS)
     states = [engine.submit(p, gen, sampler=GreedySampler()) for p in prompts]
     steps = 0
@@ -128,6 +140,12 @@ def run_round(model, prompts, config, faults, audit_every_step):
             if leaked or pool.free_pages != pool.n_pages:
                 violations.append(
                     f"[{name}] layer {layer}: {leaked} leaked page(s) after retire"
+                )
+            arena = getattr(pool, "arena", None)
+            if arena is not None and len(arena):
+                violations.append(
+                    f"[{name}] layer {layer}: {len(arena)} spilled page(s) "
+                    "leaked in the tier-1 arena after retire"
                 )
     return engine, states, steps, violations
 

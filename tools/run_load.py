@@ -27,7 +27,7 @@ Knobs worth turning (see ``docs/workloads.md`` for the full story):
 Example::
 
     python tools/run_load.py --arrival bursty --chunk-tokens 32 \
-        --scheduler priority --output load_report.json
+        --scheduler priority --output reports/load_report.json
 """
 
 from __future__ import annotations
@@ -186,7 +186,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--slo-ttft", type=float, default=200.0)
     parser.add_argument("--slo-e2e", type=float, default=1200.0)
-    parser.add_argument("--output", type=Path, default=Path("load_report.json"))
+    parser.add_argument("--output", type=Path, default=Path("reports/load_report.json"))
     parser.add_argument(
         "--trace-out", type=Path, default=None, help="also write the trace as JSON"
     )
@@ -203,6 +203,7 @@ def main(argv: list[str] | None = None) -> int:
 
     trace = generate_trace(workload_config(args), seed=args.seed)
     if args.trace_out is not None:
+        args.trace_out.parent.mkdir(parents=True, exist_ok=True)
         args.trace_out.write_text(trace.to_json(indent=2) + "\n")
         print(f"trace ({len(trace)} events) -> {args.trace_out}")
 
@@ -237,6 +238,7 @@ def main(argv: list[str] | None = None) -> int:
             print("smoke OK: sharded N=1 byte-identical to single engine")
         print("smoke OK: byte-identical replays, schema complete")
 
+    args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(text + "\n")
     lat = report["latency"]
     print(
